@@ -1,0 +1,135 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace trance {
+namespace bench {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kStandard:
+      return "STANDARD";
+    case Strategy::kStandardSkew:
+      return "STANDARD_SKEW";
+    case Strategy::kShred:
+      return "SHRED";
+    case Strategy::kShredSkew:
+      return "SHRED_SKEW";
+    case Strategy::kUnshred:
+      return "SHRED+UNSHRED";
+    case Strategy::kUnshredSkew:
+      return "SHRED+UNSHRED_SKEW";
+    case Strategy::kSparkSql:
+      return "SPARKSQL";
+  }
+  return "?";
+}
+
+bool IsShredded(Strategy s) {
+  return s == Strategy::kShred || s == Strategy::kShredSkew ||
+         s == Strategy::kUnshred || s == Strategy::kUnshredSkew;
+}
+
+bool IsSkewAware(Strategy s) {
+  return s == Strategy::kStandardSkew || s == Strategy::kShredSkew ||
+         s == Strategy::kUnshredSkew;
+}
+
+bool WantsUnshred(Strategy s) {
+  return s == Strategy::kUnshred || s == Strategy::kUnshredSkew;
+}
+
+exec::PipelineOptions OptionsFor(Strategy s) {
+  exec::PipelineOptions o;
+  if (s == Strategy::kSparkSql) {
+    // Section 6: SparkSQL does not perform the cogroup optimization.
+    o.optimizer.enable_cogroup = false;
+  }
+  if (IsSkewAware(s)) {
+    o.exec.skew_aware = true;
+  }
+  return o;
+}
+
+runtime::ClusterConfig BenchClusterConfig(int num_partitions,
+                                          uint64_t partition_memory_cap,
+                                          uint64_t broadcast_threshold) {
+  runtime::ClusterConfig c;
+  c.num_partitions = num_partitions;
+  c.partition_memory_cap = partition_memory_cap;
+  c.broadcast_threshold = broadcast_threshold;
+  c.stage_overhead_seconds = 0.005;
+  c.seconds_per_net_byte = 4e-8;   // ~25 MB/s shuffle path
+  c.seconds_per_cpu_byte = 1e-8;   // ~100 MB/s per-worker processing
+  return c;
+}
+
+Status RegisterTable(exec::Executor* executor, const tpch::Table& table,
+                     const std::string& name) {
+  TRANCE_ASSIGN_OR_RETURN(
+      runtime::Dataset ds,
+      runtime::Source(executor->cluster(), table.schema, table.rows, name));
+  executor->Register(name, std::move(ds));
+  return Status::OK();
+}
+
+Status RegisterShreddedRun(exec::Executor* executor, const std::string& name,
+                           const exec::ShreddedRun& run) {
+  executor->Register(shred::FlatInputName(name), run.top);
+  for (const auto& [path, ds] : run.dicts) {
+    executor->Register(shred::DictInputName(name, path), ds);
+  }
+  return Status::OK();
+}
+
+RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
+                   const std::function<Status()>& body) {
+  RunResult r;
+  r.name = name;
+  cluster->stats().Reset();
+  Stopwatch watch;
+  Status st = body();
+  r.wall_s = watch.ElapsedSeconds();
+  const auto& stats = cluster->stats();
+  r.sim_s = stats.sim_seconds();
+  r.shuffle_bytes = stats.total_shuffle_bytes();
+  r.max_stage_shuffle = stats.max_stage_shuffle_bytes();
+  r.peak_partition = stats.peak_partition_bytes();
+  r.ok = st.ok();
+  if (!st.ok()) r.fail_reason = st.ToString();
+  return r;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-44s %9s %9s %12s %12s %12s %8s\n", "run", "wall(s)",
+              "sim(s)", "shuffle", "maxstage", "peakpart", "rows");
+}
+
+void PrintResult(const RunResult& r) {
+  if (!r.ok) {
+    std::printf("%-44s %9s %9s %12s %12s %12s %8s   [%s]\n", r.name.c_str(),
+                "FAIL", "FAIL", "-", "-", "-", "-",
+                r.fail_reason.substr(0, 100).c_str());
+    return;
+  }
+  std::printf("%-44s %9.3f %9.2f %12s %12s %12s %8zu\n", r.name.c_str(),
+              r.wall_s, r.sim_s, FormatBytes(r.shuffle_bytes).c_str(),
+              FormatBytes(r.max_stage_shuffle).c_str(),
+              FormatBytes(r.peak_partition).c_str(), r.out_rows);
+}
+
+std::string Ratio(const RunResult& num, const RunResult& den,
+                  uint64_t RunResult::*field) {
+  if (!num.ok || !den.ok || den.*field == 0) return "n/a";
+  double v = static_cast<double>(num.*field) /
+             static_cast<double>(den.*field);
+  return FormatDouble(v, 1) + "x";
+}
+
+}  // namespace bench
+}  // namespace trance

@@ -1,0 +1,88 @@
+// Shared harness for the figure/table benchmarks: strategy definitions,
+// timed execution with FAIL capture (simulated worker memory saturation),
+// dataset preparation for all compilation routes, and table rendering.
+//
+// Reported quantities per run:
+//   wall   — actual wall-clock of the in-process execution;
+//   sim    — simulated cluster time (sum over stages of straggler-bound
+//            work + shuffle cost; see runtime/stats.h), the number whose
+//            *shape* reproduces the paper's figures;
+//   shuffle / max-stage shuffle / peak partition — data-movement stats.
+// A run that exhausts a worker's memory reports FAIL, like the paper's
+// missing bars.
+#ifndef TRANCE_BENCH_BENCH_COMMON_H_
+#define TRANCE_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "runtime/cluster.h"
+#include "tpch/generator.h"
+
+namespace trance {
+namespace bench {
+
+struct RunResult {
+  std::string name;
+  bool ok = false;
+  std::string fail_reason;
+  double wall_s = 0;
+  double sim_s = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t max_stage_shuffle = 0;
+  uint64_t peak_partition = 0;
+  size_t out_rows = 0;
+};
+
+/// The evaluation strategies of Section 6.
+enum class Strategy {
+  kStandard,      // standard compilation (Section 3)
+  kStandardSkew,  // + skew-aware operators
+  kShred,         // shredded compilation, output left shredded
+  kShredSkew,
+  kUnshred,       // shredded compilation + unshredding to nested output
+  kUnshredSkew,
+  kSparkSql,      // competitor mode: standard route without cogroup fusion
+};
+
+const char* StrategyName(Strategy s);
+bool IsShredded(Strategy s);
+bool IsSkewAware(Strategy s);
+bool WantsUnshred(Strategy s);
+exec::PipelineOptions OptionsFor(Strategy s);
+
+/// Cluster configuration with the benchmark cost model: small per-stage
+/// overhead and shuffle-dominated costs, so the simulated time tracks data
+/// movement (the quantity the paper's figures vary with).
+runtime::ClusterConfig BenchClusterConfig(int num_partitions,
+                                          uint64_t partition_memory_cap,
+                                          uint64_t broadcast_threshold);
+
+/// Registers a TPC-H table as an input dataset (untimed; the paper reports
+/// runtime "after caching all inputs").
+Status RegisterTable(exec::Executor* executor, const tpch::Table& table,
+                     const std::string& name);
+
+/// Registers a previously computed shredded run as shredded input `name`
+/// (name_F + name_D_<path>).
+Status RegisterShreddedRun(exec::Executor* executor, const std::string& name,
+                           const exec::ShreddedRun& run);
+
+/// Times `body` on a fresh stats scope of `cluster`; captures FAIL.
+RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
+                   const std::function<Status()>& body);
+
+/// Renders results as an aligned table.
+void PrintHeader(const std::string& title);
+void PrintResult(const RunResult& r);
+
+/// Ratio helper for the shuffle-comparison tables ("n/a" on zero/FAIL).
+std::string Ratio(const RunResult& num, const RunResult& den,
+                  uint64_t RunResult::*field);
+
+}  // namespace bench
+}  // namespace trance
+
+#endif  // TRANCE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,11 @@
+// Figure 7a: performance of the narrow TPC-H benchmark queries with varying
+// levels of nesting (0-4), comparing UNSHRED / SHRED / STANDARD / SPARKSQL.
+#include "fig7_harness.h"
+
+int main() {
+  trance::bench::Fig7Config cfg;
+  cfg.width = trance::tpch::Width::kNarrow;
+  cfg.partition_memory_cap = 700ull << 10;
+  trance::bench::RunFig7(cfg);
+  return 0;
+}

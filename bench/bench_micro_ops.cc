@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark) for the runtime primitives and the
+// shredding kernels: shuffle hash join vs broadcast join, nest vs cogroup,
+// sum aggregation with/without map-side combine, value shredding and
+// unshredding, and heavy-key detection.
+#include <benchmark/benchmark.h>
+
+#include "nrc/builder.h"
+#include "runtime/cluster.h"
+#include "runtime/ops.h"
+#include "shred/value_shredder.h"
+#include "skew/skew.h"
+#include "util/random.h"
+
+namespace trance {
+namespace {
+
+using runtime::Cluster;
+using runtime::ClusterConfig;
+using runtime::Dataset;
+using runtime::Field;
+using runtime::Row;
+using runtime::Schema;
+
+Schema KvSchema() {
+  return Schema({{"k", nrc::Type::Int()}, {"v", nrc::Type::Real()}});
+}
+
+Dataset MakeKv(Cluster* cluster, int64_t n, int64_t keys, double zipf,
+               uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler sampler(static_cast<size_t>(keys), zipf);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Row({Field::Int(static_cast<int64_t>(sampler.Sample(&rng))),
+                        Field::Real(rng.NextDouble())}));
+  }
+  return runtime::Source(cluster, KvSchema(), std::move(rows), "kv")
+      .ValueOrDie();
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  Dataset l = MakeKv(&cluster, state.range(0), 1000, 0.0, 1);
+  Dataset r = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+  for (auto _ : state) {
+    auto j = runtime::HashJoin(&cluster, l, r, {0}, {0},
+                               runtime::JoinType::kInner, "join");
+    benchmark::DoNotOptimize(j);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(100000);
+
+void BM_BroadcastJoin(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  Dataset l = MakeKv(&cluster, state.range(0), 1000, 0.0, 1);
+  Dataset r = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+  for (auto _ : state) {
+    auto j = runtime::BroadcastJoin(&cluster, l, r, {0}, {0},
+                                    runtime::JoinType::kInner, "bjoin");
+    benchmark::DoNotOptimize(j);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BroadcastJoin)->Arg(10000)->Arg(100000);
+
+void BM_SkewAwareJoin(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  // Heavily skewed left side.
+  Dataset l = MakeKv(&cluster, state.range(0), 1000, 3.0, 1);
+  Dataset r = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+  for (auto _ : state) {
+    auto lt = skew::SkewTriple::AllLight(l);
+    auto rt = skew::SkewTriple::AllLight(r);
+    auto j = skew::SkewAwareJoin(&cluster, lt, rt, {0}, {0},
+                                 runtime::JoinType::kInner, "sjoin");
+    benchmark::DoNotOptimize(j);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SkewAwareJoin)->Arg(10000)->Arg(100000);
+
+void BM_SumAggregate(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  Dataset ds = MakeKv(&cluster, state.range(0), 64, 0.0, 3);
+  bool combine = state.range(1) != 0;
+  for (auto _ : state) {
+    auto out =
+        runtime::SumAggregate(&cluster, ds, {0}, {1}, combine, "sum");
+    benchmark::DoNotOptimize(out);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SumAggregate)->Args({100000, 1})->Args({100000, 0});
+
+void BM_NestGroup(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  Dataset ds = MakeKv(&cluster, state.range(0), 1024, 0.0, 4);
+  for (auto _ : state) {
+    auto out = runtime::NestGroup(&cluster, ds, {0}, {1}, "bag", "nest");
+    benchmark::DoNotOptimize(out);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NestGroup)->Arg(100000);
+
+void BM_HeavyKeyDetection(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  Dataset ds = MakeKv(&cluster, state.range(0), 1000, 2.0, 5);
+  for (auto _ : state) {
+    auto hk = skew::DetectHeavyKeys(&cluster, ds, {0});
+    benchmark::DoNotOptimize(hk);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeavyKeyDetection)->Arg(100000);
+
+nrc::Value MakeNested(int64_t customers, int64_t orders_per,
+                      int64_t parts_per) {
+  Rng rng(7);
+  std::vector<nrc::Value> tops;
+  for (int64_t c = 0; c < customers; ++c) {
+    std::vector<nrc::Value> os;
+    for (int64_t o = 0; o < orders_per; ++o) {
+      std::vector<nrc::Value> ps;
+      for (int64_t k = 0; k < parts_per; ++k) {
+        ps.push_back(nrc::Value::Tuple(
+            {{"pid", nrc::Value::Int(rng.UniformRange(0, 100))},
+             {"qty", nrc::Value::Real(rng.NextDouble())}}));
+      }
+      os.push_back(nrc::Value::Tuple({{"odate", nrc::Value::Int(o)},
+                                      {"oparts", nrc::Value::Bag(ps)}}));
+    }
+    tops.push_back(nrc::Value::Tuple(
+        {{"cname", nrc::Value::Str("c" + std::to_string(c))},
+         {"corders", nrc::Value::Bag(os)}}));
+  }
+  return nrc::Value::Bag(tops);
+}
+
+nrc::TypePtr NestedType() {
+  using nrc::dsl::BagTu;
+  using nrc::Type;
+  return BagTu(
+      {{"cname", Type::String()},
+       {"corders",
+        BagTu({{"odate", Type::Int()},
+               {"oparts",
+                BagTu({{"pid", Type::Int()}, {"qty", Type::Real()}})}})}});
+}
+
+void BM_ValueShred(benchmark::State& state) {
+  nrc::Value v = MakeNested(state.range(0), 10, 10);
+  nrc::TypePtr t = NestedType();
+  for (auto _ : state) {
+    auto sv = shred::ShredValue(v, t);
+    benchmark::DoNotOptimize(sv);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
+}
+BENCHMARK(BM_ValueShred)->Arg(100);
+
+void BM_ValueUnshred(benchmark::State& state) {
+  nrc::Value v = MakeNested(state.range(0), 10, 10);
+  nrc::TypePtr t = NestedType();
+  auto sv = shred::ShredValue(v, t).ValueOrDie();
+  for (auto _ : state) {
+    auto back = shred::UnshredValue(sv, t);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
+}
+BENCHMARK(BM_ValueUnshred)->Arg(100);
+
+}  // namespace
+}  // namespace trance
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+#include "biomed/generator.h"
+
+#include "nrc/builder.h"
+#include "util/random.h"
+
+namespace trance {
+namespace biomed {
+
+using nrc::Type;
+using nrc::TypePtr;
+using runtime::Field;
+using runtime::Row;
+using runtime::Schema;
+
+TypePtr Bn2Type() {
+  using nrc::dsl::BagTu;
+  return BagTu(
+      {{"sample", Type::Int()},
+       {"donor", Type::String()},
+       {"tissue", Type::String()},
+       {"notes", Type::String()},
+       {"mutations",
+        BagTu({{"mid", Type::Int()},
+               {"gene", Type::Int()},
+               {"score", Type::Real()},
+               {"consequences",
+                BagTu({{"so_term", Type::Int()},
+                       {"weight", Type::Real()}})}})}});
+}
+
+TypePtr Bn1Type() {
+  using nrc::dsl::BagTu;
+  return BagTu({{"sample", Type::Int()},
+                {"cnvs", BagTu({{"gene", Type::Int()},
+                                {"cn", Type::Real()}})}});
+}
+
+TypePtr Bf1Type() {
+  using nrc::dsl::BagTu;
+  return BagTu({{"sample", Type::Int()},
+                {"gene", Type::Int()},
+                {"expr", Type::Real()}});
+}
+
+TypePtr Bf2Type() {
+  using nrc::dsl::BagTu;
+  return BagTu({{"gene1", Type::Int()},
+                {"gene2", Type::Int()},
+                {"weight", Type::Real()}});
+}
+
+TypePtr Bf3Type() {
+  using nrc::dsl::BagTu;
+  return BagTu({{"so_term", Type::Int()}, {"impact", Type::Real()}});
+}
+
+BiomedData Generate(const BiomedConfig& config) {
+  Rng rng(config.seed);
+  BiomedData d;
+
+  auto schema_of = [](const TypePtr& t) {
+    auto s = Schema::FromBagType(t);
+    TRANCE_CHECK(s.ok(), "biomed schema");
+    return std::move(s).value();
+  };
+  d.bn2_schema = schema_of(Bn2Type());
+  d.bn1_schema = schema_of(Bn1Type());
+  d.bf1_schema = schema_of(Bf1Type());
+  d.bf2_schema = schema_of(Bf2Type());
+  d.bf3_schema = schema_of(Bf3Type());
+
+  // BN2: distribute the total mutation budget over samples, Zipf-skewed.
+  const int64_t total_mutations =
+      config.samples * config.mutations_per_sample;
+  ZipfSampler sample_zipf(static_cast<size_t>(config.samples),
+                          config.mutation_skew);
+  std::vector<int64_t> per_sample(static_cast<size_t>(config.samples), 0);
+  for (int64_t i = 0; i < total_mutations; ++i) {
+    ++per_sample[sample_zipf.Sample(&rng)];
+  }
+  int64_t mid = 0;
+  for (int64_t s = 0; s < config.samples; ++s) {
+    std::vector<Row> mutations;
+    for (int64_t m = 0; m < per_sample[static_cast<size_t>(s)]; ++m) {
+      std::vector<Row> consequences;
+      int64_t nc = 1 + static_cast<int64_t>(
+                           rng.Uniform(static_cast<uint64_t>(
+                               config.consequences_per_mutation * 2 - 1)));
+      for (int64_t c = 0; c < nc; ++c) {
+        consequences.push_back(
+            Row({Field::Int(rng.UniformRange(0, config.so_terms - 1)),
+                 Field::Real(rng.NextDouble())}));
+      }
+      mutations.push_back(
+          Row({Field::Int(mid++),
+               Field::Int(rng.UniformRange(0, config.genes - 1)),
+               Field::Real(rng.NextDouble()),
+               Field::Bag(std::move(consequences))}));
+    }
+    d.bn2.push_back(Row({Field::Int(s),
+                         Field::Str("DO" + std::to_string(10000 + s) + "_" +
+                                    rng.NextString(24)),
+                         Field::Str("tissue_" + rng.NextString(20)),
+                         Field::Str(rng.NextString(48)),
+                         Field::Bag(std::move(mutations))}));
+  }
+
+  // BN1: each sample has copy-number calls for a random gene subset.
+  for (int64_t s = 0; s < config.samples; ++s) {
+    std::vector<Row> cnvs;
+    int64_t n = config.cnvs_per_sample / 2 +
+                static_cast<int64_t>(rng.Uniform(
+                    static_cast<uint64_t>(config.cnvs_per_sample) + 1));
+    for (int64_t i = 0; i < n; ++i) {
+      cnvs.push_back(Row({Field::Int(rng.UniformRange(0, config.genes - 1)),
+                          Field::Real(rng.UniformReal(0.0, 4.0))}));
+    }
+    d.bn1.push_back(Row({Field::Int(s), Field::Bag(std::move(cnvs))}));
+  }
+
+  // BF1: expression per (sample, gene) sample.
+  for (int64_t s = 0; s < config.samples; ++s) {
+    for (int64_t i = 0; i < 6; ++i) {
+      d.bf1.push_back(Row({Field::Int(s),
+                           Field::Int(rng.UniformRange(0, config.genes - 1)),
+                           Field::Real(rng.UniformReal(0.0, 10.0))}));
+    }
+  }
+
+  // BF2: gene-gene network edges.
+  for (int64_t e = 0; e < config.network_edges; ++e) {
+    d.bf2.push_back(Row({Field::Int(rng.UniformRange(0, config.genes - 1)),
+                         Field::Int(rng.UniformRange(0, config.genes - 1)),
+                         Field::Real(rng.NextDouble())}));
+  }
+
+  // BF3: tiny ontology-impact table.
+  for (int64_t t = 0; t < config.so_terms; ++t) {
+    d.bf3.push_back(Row({Field::Int(t), Field::Real(0.1 + 0.9 * rng.NextDouble())}));
+  }
+
+  return d;
+}
+
+}  // namespace biomed
+}  // namespace trance

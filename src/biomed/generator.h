@@ -1,0 +1,81 @@
+// Synthetic biomedical benchmark data, shaped like the paper's ICGC inputs
+// (see DESIGN.md substitutions):
+//   BN2 — two-level nested somatic-mutation occurrences with wide sample
+//         metadata (donor/tissue/notes strings, the top-level baggage the
+//         flattening methods duplicate):
+//         Bag(<sample, donor, tissue, notes, mutations: Bag(<mid, gene,
+//              score, consequences: Bag(<so_term, weight>)>)>)   (280GB analogue)
+//   BN1 — one-level nested copy-number:
+//         Bag(<sample, cnvs: Bag(<gene, cn>)>)                   (4GB analogue)
+//   BF1 — flat gene expression (sample, gene, expr)              (23GB analogue)
+//   BF2 — flat gene-gene network (gene1, gene2, weight)          (34GB analogue)
+//   BF3 — tiny flat sequence-ontology weights (so_term, impact)  (5KB analogue)
+//
+// Sizes scale together; SmallConfig/FullConfig mirror the paper's small/full
+// dataset ratio. `mutation_skew` concentrates mutations on few samples.
+#ifndef TRANCE_BIOMED_GENERATOR_H_
+#define TRANCE_BIOMED_GENERATOR_H_
+
+#include <cstdint>
+
+#include "nrc/type.h"
+#include "runtime/dataset.h"
+#include "runtime/schema.h"
+
+namespace trance {
+namespace biomed {
+
+struct BiomedConfig {
+  int64_t samples = 25;
+  int64_t genes = 120;
+  int64_t mutations_per_sample = 15;
+  int64_t consequences_per_mutation = 3;
+  int64_t network_edges = 480;   // ~4 edges per gene
+  int64_t cnvs_per_sample = 12;
+  int64_t so_terms = 12;
+  double mutation_skew = 0.0;  // Zipf exponent over samples
+  uint64_t seed = 7;
+
+  static BiomedConfig Small() { return BiomedConfig{}; }
+  static BiomedConfig Full() {
+    BiomedConfig c;
+    c.samples = 100;
+    c.genes = 300;
+    c.mutations_per_sample = 50;
+    c.network_edges = 1200;
+    c.cnvs_per_sample = 60;
+    return c;
+  }
+};
+
+/// Flat relations as runtime tables; nested relations as shredded datasets
+/// (top bag + relational dictionaries) *and* as nested datasets, so both
+/// compilation routes load without conversion cost.
+struct BiomedData {
+  // Nested inputs, standard representation (bag-valued columns).
+  runtime::Schema bn2_schema;
+  std::vector<runtime::Row> bn2;
+  runtime::Schema bn1_schema;
+  std::vector<runtime::Row> bn1;
+  // Flat inputs.
+  runtime::Schema bf1_schema;
+  std::vector<runtime::Row> bf1;
+  runtime::Schema bf2_schema;
+  std::vector<runtime::Row> bf2;
+  runtime::Schema bf3_schema;
+  std::vector<runtime::Row> bf3;
+};
+
+/// NRC types of the inputs.
+nrc::TypePtr Bn2Type();
+nrc::TypePtr Bn1Type();
+nrc::TypePtr Bf1Type();
+nrc::TypePtr Bf2Type();
+nrc::TypePtr Bf3Type();
+
+BiomedData Generate(const BiomedConfig& config);
+
+}  // namespace biomed
+}  // namespace trance
+
+#endif  // TRANCE_BIOMED_GENERATOR_H_

@@ -1,0 +1,38 @@
+// Conversions between interpreter values (nested nrc::Value bags) and runtime
+// datasets (schema'd rows). Tests use these to compare the distributed routes
+// against the interpreter oracle; benchmarks use them to load generated data.
+#ifndef TRANCE_EXEC_BRIDGE_H_
+#define TRANCE_EXEC_BRIDGE_H_
+
+#include <vector>
+
+#include "nrc/value.h"
+#include "runtime/dataset.h"
+#include "util/status.h"
+
+namespace trance {
+namespace exec {
+
+/// Converts a bag value into rows laid out per `schema` (recursing into
+/// bag-valued columns).
+StatusOr<std::vector<runtime::Row>> ValueToRows(const nrc::Value& bag,
+                                                const runtime::Schema& schema);
+
+/// Converts one tuple value into a row.
+StatusOr<runtime::Row> TupleToRow(const nrc::Value& tuple,
+                                  const runtime::Schema& schema);
+
+/// Converts rows back into a bag value named per `schema`.
+StatusOr<nrc::Value> RowsToValue(const std::vector<runtime::Row>& rows,
+                                 const runtime::Schema& schema);
+
+/// Field-level conversions.
+StatusOr<runtime::Field> ValueToField(const nrc::Value& v,
+                                      const nrc::TypePtr& type);
+StatusOr<nrc::Value> FieldToValue(const runtime::Field& f,
+                                  const nrc::TypePtr& type);
+
+}  // namespace exec
+}  // namespace trance
+
+#endif  // TRANCE_EXEC_BRIDGE_H_

@@ -1,0 +1,399 @@
+#include "exec/lowering.h"
+
+#include <algorithm>
+
+#include "exec/scalar_compiler.h"
+
+namespace trance {
+namespace exec {
+
+namespace {
+
+using plan::NestAgg;
+using plan::PlanNode;
+using plan::PlanPtr;
+using runtime::Dataset;
+using runtime::Field;
+using runtime::JoinType;
+using runtime::Partitioning;
+using runtime::Row;
+using runtime::Schema;
+using skew::SkewTriple;
+
+StatusOr<std::vector<int>> ResolveCols(const Schema& schema,
+                                       const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    TRANCE_ASSIGN_OR_RETURN(int i, schema.Require(n));
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Partitioning of a projection output: keys survive iff every key column is
+/// projected as a pure column reference.
+Partitioning ProjectPartitioning(
+    const Partitioning& in, const std::vector<plan::NamedColumnExpr>& cols,
+    const Schema& in_schema) {
+  if (in.kind != Partitioning::Kind::kHash) return Partitioning::None();
+  std::vector<int> mapped;
+  for (int key : in.key_cols) {
+    const std::string& key_name =
+        in_schema.col(static_cast<size_t>(key)).name;
+    int found = -1;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].expr->kind() == nrc::Expr::Kind::kVarRef &&
+          cols[i].expr->var_name() == key_name) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found < 0) return Partitioning::None();
+    mapped.push_back(found);
+  }
+  return Partitioning::Hash(std::move(mapped));
+}
+
+/// Renames the trailing `count` columns of `schema` to `names`.
+void RenameTail(Schema* schema, size_t count,
+                const std::vector<std::string>& names) {
+  TRANCE_CHECK(names.size() == count && schema->size() >= count,
+               "RenameTail arity");
+  std::vector<runtime::Column> cols = schema->columns();
+  for (size_t i = 0; i < count; ++i) {
+    cols[schema->size() - count + i].name = names[i];
+  }
+  *schema = Schema(std::move(cols));
+}
+
+/// Rewrites a bag column's element-tuple attribute names (metadata only).
+Status RenameBagColumn(Schema* schema, const std::string& bag_col,
+                       const std::vector<std::string>& names) {
+  std::vector<runtime::Column> cols = schema->columns();
+  for (auto& c : cols) {
+    if (c.name != bag_col) continue;
+    if (!c.type->is_bag() || !c.type->element()->is_tuple()) {
+      return Status::Internal("RenameBagColumn on non-bag-of-tuples");
+    }
+    const auto& fields = c.type->element()->fields();
+    if (fields.size() != names.size()) {
+      return Status::Internal("RenameBagColumn arity mismatch");
+    }
+    std::vector<nrc::Field> renamed;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      renamed.push_back({names[i], fields[i].type});
+    }
+    c.type = nrc::Type::Bag(nrc::Type::Tuple(std::move(renamed)));
+    *schema = Schema(std::move(cols));
+    return Status::OK();
+  }
+  return Status::KeyError("RenameBagColumn: no column " + bag_col);
+}
+
+}  // namespace
+
+StatusOr<SkewTriple> Executor::Get(const std::string& name) const {
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::KeyError("no dataset registered under '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<Dataset> Executor::GetDataset(const std::string& name) {
+  TRANCE_ASSIGN_OR_RETURN(SkewTriple t, Get(name));
+  return skew::MergeTriple(cluster_, t, name);
+}
+
+StatusOr<SkewTriple> Executor::Execute(const plan::PlanPtr& p) {
+  return Exec(p);
+}
+
+StatusOr<Dataset> Executor::ExecuteToDataset(const plan::PlanPtr& p) {
+  TRANCE_ASSIGN_OR_RETURN(SkewTriple t, Exec(p));
+  return skew::MergeTriple(cluster_, t, "result");
+}
+
+StatusOr<std::string> Executor::ExecuteProgram(
+    const plan::PlanProgram& program) {
+  std::string last;
+  for (const auto& a : program.assignments) {
+    TRANCE_ASSIGN_OR_RETURN(SkewTriple t, Exec(a.plan));
+    registry_[a.var] = std::move(t);
+    last = a.var;
+  }
+  if (last.empty()) return Status::Invalid("program has no assignments");
+  return last;
+}
+
+StatusOr<SkewTriple> Executor::Exec(const plan::PlanPtr& p) {
+  using K = PlanNode::Kind;
+  switch (p->kind()) {
+    case K::kScan:
+      return Get(p->relation());
+
+    case K::kSelect: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      TRANCE_ASSIGN_OR_RETURN(auto pred,
+                              CompilePredicate(p->cond(), in.schema()));
+      SkewTriple out;
+      TRANCE_ASSIGN_OR_RETURN(
+          out.light, runtime::FilterRows(cluster_, in.light, pred, "select"));
+      TRANCE_ASSIGN_OR_RETURN(
+          out.heavy,
+          runtime::FilterRows(cluster_, in.heavy, pred, "select.h"));
+      out.heavy_keys = in.heavy_keys;
+      return out;
+    }
+
+    case K::kOuterSelect: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      const Schema& schema = in.schema();
+      TRANCE_ASSIGN_OR_RETURN(auto pred, CompilePredicate(p->cond(), schema));
+      // Failing rows keep only the grouping-prefix columns; everything else
+      // goes NULL so the enclosing Gammas treat the row as a miss.
+      std::vector<bool> keep(schema.size(), false);
+      for (const auto& name : p->keep_cols()) {
+        TRANCE_ASSIGN_OR_RETURN(int i, schema.Require(name));
+        keep[static_cast<size_t>(i)] = true;
+      }
+      runtime::MapFn fn = [pred, keep](const Row& r) {
+        if (pred(r)) return r;
+        Row out = r;
+        for (size_t i = 0; i < out.fields.size(); ++i) {
+          if (!keep[i]) out.fields[i] = Field::Null();
+        }
+        return out;
+      };
+      SkewTriple out;
+      TRANCE_ASSIGN_OR_RETURN(
+          out.light, runtime::MapRows(cluster_, in.light, schema, fn,
+                                      "outer_select", true));
+      TRANCE_ASSIGN_OR_RETURN(
+          out.heavy, runtime::MapRows(cluster_, in.heavy, schema, fn,
+                                      "outer_select.h", true));
+      out.heavy_keys = in.heavy_keys;
+      return out;
+    }
+
+    case K::kProject:
+    case K::kExtend: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      const Schema& in_schema = in.schema();
+      bool extend = p->kind() == K::kExtend;
+
+      std::vector<ScalarFn> fns;
+      Schema out_schema;
+      if (extend) out_schema = in_schema;
+      for (const auto& c : p->columns()) {
+        TRANCE_ASSIGN_OR_RETURN(ScalarFn f, CompileScalar(c.expr, in_schema));
+        TRANCE_ASSIGN_OR_RETURN(nrc::TypePtr t,
+                                ScalarResultType(c.expr, in_schema));
+        fns.push_back(std::move(f));
+        out_schema.Append({c.name, t});
+      }
+      runtime::MapFn map = [fns, extend](const Row& r) {
+        Row out;
+        out.fields.reserve((extend ? r.fields.size() : 0) + fns.size());
+        if (extend) out.fields = r.fields;
+        for (const auto& f : fns) out.fields.push_back(f(r));
+        return out;
+      };
+      Partitioning part =
+          extend ? in.light.partitioning
+                 : ProjectPartitioning(in.light.partitioning, p->columns(),
+                                       in_schema);
+      SkewTriple out;
+      TRANCE_ASSIGN_OR_RETURN(
+          out.light, runtime::MapRows(cluster_, in.light, out_schema, map,
+                                      extend ? "extend" : "project", false,
+                                      part));
+      Partitioning hpart =
+          extend ? in.heavy.partitioning
+                 : ProjectPartitioning(in.heavy.partitioning, p->columns(),
+                                       in_schema);
+      TRANCE_ASSIGN_OR_RETURN(
+          out.heavy, runtime::MapRows(cluster_, in.heavy, out_schema, map,
+                                      extend ? "extend.h" : "project.h",
+                                      false, hpart));
+      // Heavy keys survive an Extend (column positions unchanged); a Project
+      // invalidates the recorded positions unless all key columns map.
+      if (extend) {
+        out.heavy_keys = in.heavy_keys;
+      } else if (in.heavy_keys.has_value()) {
+        Partitioning mapped = ProjectPartitioning(
+            Partitioning::Hash(in.heavy_keys->key_cols), p->columns(),
+            in_schema);
+        if (mapped.kind == Partitioning::Kind::kHash) {
+          skew::HeavyKeySet hk;
+          hk.key_cols = mapped.key_cols;
+          hk.keys = in.heavy_keys->keys;
+          out.heavy_keys = std::move(hk);
+        }
+      }
+      return out;
+    }
+
+    case K::kJoin: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple l, Exec(p->child(0)));
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple r, Exec(p->child(1)));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> lk,
+                              ResolveCols(l.schema(), p->left_keys()));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> rk,
+                              ResolveCols(r.schema(), p->right_keys()));
+      JoinType type = p->outer() ? JoinType::kLeftOuter : JoinType::kInner;
+      if (options_.skew_aware && !lk.empty()) {
+        return skew::SkewAwareJoin(cluster_, l, r, lk, rk, type, "skewjoin");
+      }
+      TRANCE_ASSIGN_OR_RETURN(Dataset lm, skew::MergeTriple(cluster_, l, "j"));
+      TRANCE_ASSIGN_OR_RETURN(Dataset rm, skew::MergeTriple(cluster_, r, "j"));
+      if (options_.auto_broadcast &&
+          rm.DeepSizeBytes() <= cluster_->config().broadcast_threshold) {
+        TRANCE_ASSIGN_OR_RETURN(
+            Dataset out, runtime::BroadcastJoin(cluster_, lm, rm, lk, rk,
+                                                type, "broadcast_join"));
+        return SkewTriple::AllLight(std::move(out));
+      }
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::HashJoin(cluster_, lm, rm, lk, rk, type, "join"));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kUnnest: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      TRANCE_ASSIGN_OR_RETURN(int bag, in.schema().Require(p->bag_col()));
+      const nrc::TypePtr& bag_t =
+          in.schema().col(static_cast<size_t>(bag)).type;
+      if (!bag_t->is_bag()) {
+        return Status::TypeError("unnest over non-bag column " + p->bag_col());
+      }
+      std::vector<std::string> inner_names;
+      if (bag_t->element()->is_tuple()) {
+        for (const auto& f : bag_t->element()->fields()) {
+          inner_names.push_back(p->alias() + "." + f.name);
+        }
+      } else {
+        inner_names.push_back(p->alias());
+      }
+      auto run = [&](const Dataset& ds,
+                     const std::string& nm) -> StatusOr<Dataset> {
+        StatusOr<Dataset> out =
+            p->outer()
+                ? runtime::OuterUnnest(cluster_, ds, bag,
+                                       p->unnest_id_attr(), nm)
+                : runtime::Unnest(cluster_, ds, bag, nm);
+        if (!out.ok()) return out;
+        RenameTail(&out->schema, inner_names.size(), inner_names);
+        return out;
+      };
+      SkewTriple out;
+      TRANCE_ASSIGN_OR_RETURN(out.light, run(in.light, "unnest"));
+      TRANCE_ASSIGN_OR_RETURN(out.heavy, run(in.heavy, "unnest.h"));
+      // Unnest removes the bag column: recorded heavy-key positions after it
+      // shift; conservatively drop them.
+      out.heavy_keys = std::nullopt;
+      return out;
+    }
+
+    case K::kAddIndex: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      // Ids must be unique across components: merge first (cheap concat).
+      TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                              skew::MergeTriple(cluster_, in, "addindex"));
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::AddIndexColumn(cluster_, merged, p->id_attr(),
+                                               "add_index"));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kNest: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      // "All nest operations merge the light and heavy components and follow
+      // the standard implementation" (Section 5).
+      TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                              skew::MergeTriple(cluster_, in, "nest"));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> keys,
+                              ResolveCols(merged.schema, p->keys()));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> values,
+                              ResolveCols(merged.schema, p->values()));
+      if (p->agg() == NestAgg::kSum) {
+        TRANCE_ASSIGN_OR_RETURN(
+            Dataset out,
+            runtime::SumAggregate(cluster_, merged, keys, values,
+                                  options_.map_side_combine, "nest_sum"));
+        return SkewTriple::AllLight(std::move(out));
+      }
+      std::vector<int> indicator;
+      if (!p->nest_indicator().empty()) {
+        TRANCE_ASSIGN_OR_RETURN(int ind,
+                                merged.schema.Require(p->nest_indicator()));
+        indicator.push_back(ind);
+      }
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::NestGroup(cluster_, merged, keys, values, p->out_attr(),
+                             "nest_bag", indicator));
+      TRANCE_RETURN_NOT_OK(
+          RenameBagColumn(&out.schema, p->out_attr(), p->value_names()));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kDedup: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                              skew::MergeTriple(cluster_, in, "dedup"));
+      TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                              runtime::Distinct(cluster_, merged, "dedup"));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kUnionAll: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple a, Exec(p->child(0)));
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple b, Exec(p->child(1)));
+      TRANCE_ASSIGN_OR_RETURN(Dataset am, skew::MergeTriple(cluster_, a, "u"));
+      TRANCE_ASSIGN_OR_RETURN(Dataset bm, skew::MergeTriple(cluster_, b, "u"));
+      TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                              runtime::UnionAll(cluster_, am, bm, "union"));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kCoGroup: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple l, Exec(p->child(0)));
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple r, Exec(p->child(1)));
+      TRANCE_ASSIGN_OR_RETURN(Dataset lm, skew::MergeTriple(cluster_, l, "cg"));
+      TRANCE_ASSIGN_OR_RETURN(Dataset rm, skew::MergeTriple(cluster_, r, "cg"));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> lk,
+                              ResolveCols(lm.schema, p->left_keys()));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> rk,
+                              ResolveCols(rm.schema, p->right_keys()));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<int> vals,
+                              ResolveCols(rm.schema, p->values()));
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::CoGroup(cluster_, lm, rm, lk, rk, vals,
+                                        p->out_attr(), "cogroup"));
+      TRANCE_RETURN_NOT_OK(
+          RenameBagColumn(&out.schema, p->out_attr(), p->value_names()));
+      return SkewTriple::AllLight(std::move(out));
+    }
+
+    case K::kBagToDict: {
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Exec(p->child()));
+      TRANCE_ASSIGN_OR_RETURN(int label, in.schema().Require(p->label_col()));
+      if (options_.skew_aware) {
+        return skew::SkewAwareBagToDict(cluster_, in, label, "bag_to_dict");
+      }
+      TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                              skew::MergeTriple(cluster_, in, "b2d"));
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::Repartition(cluster_, merged, {label}, "bag_to_dict"));
+      return SkewTriple::AllLight(std::move(out));
+    }
+  }
+  return Status::Internal("unhandled plan node in lowering");
+}
+
+}  // namespace exec
+}  // namespace trance

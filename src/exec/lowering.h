@@ -1,0 +1,76 @@
+// Code generation (Section 3): lowers algebraic plans onto the distributed
+// runtime, bottom-up over the plan tree. This is the analogue of the paper's
+// Spark code generator — the target is the in-process cluster simulator.
+//
+// Every dataset flows through the executor as a skew-triple (light, heavy,
+// heavy-keys). In the default mode the heavy component is empty and
+// operators behave exactly like their standard implementations; with
+// `skew_aware` set, joins and BagToDict use the Fig. 6 skew-aware variants
+// and nest operators merge components (Section 5).
+#ifndef TRANCE_EXEC_LOWERING_H_
+#define TRANCE_EXEC_LOWERING_H_
+
+#include <map>
+#include <string>
+
+#include "plan/plan.h"
+#include "runtime/cluster.h"
+#include "runtime/ops.h"
+#include "skew/skew.h"
+#include "util/status.h"
+
+namespace trance {
+namespace exec {
+
+struct ExecOptions {
+  /// Use the skew-aware operator variants of Section 5.
+  bool skew_aware = false;
+  /// Map-side combine for Gamma-plus (partial aggregation before shuffle).
+  bool map_side_combine = true;
+  /// Automatically broadcast join sides under the cluster's
+  /// broadcast_threshold ("Broadcast operations are deferred to Spark, which
+  /// broadcasts anything under 10MB").
+  bool auto_broadcast = true;
+};
+
+/// Executes plans against named datasets registered on a cluster.
+class Executor {
+ public:
+  Executor(runtime::Cluster* cluster, ExecOptions options)
+      : cluster_(cluster), options_(options) {}
+
+  /// Registers an input (or intermediate) dataset under `name`.
+  void Register(const std::string& name, runtime::Dataset ds) {
+    registry_[name] = skew::SkewTriple::AllLight(std::move(ds));
+  }
+  void RegisterTriple(const std::string& name, skew::SkewTriple t) {
+    registry_[name] = std::move(t);
+  }
+  bool Has(const std::string& name) const { return registry_.count(name) > 0; }
+  StatusOr<skew::SkewTriple> Get(const std::string& name) const;
+  /// Fetches a registered dataset, merging its components.
+  StatusOr<runtime::Dataset> GetDataset(const std::string& name);
+
+  /// Executes one plan.
+  StatusOr<skew::SkewTriple> Execute(const plan::PlanPtr& p);
+  StatusOr<runtime::Dataset> ExecuteToDataset(const plan::PlanPtr& p);
+
+  /// Executes every assignment, registering each result under its variable;
+  /// returns the name of the final assignment.
+  StatusOr<std::string> ExecuteProgram(const plan::PlanProgram& program);
+
+  runtime::Cluster* cluster() { return cluster_; }
+  const ExecOptions& options() const { return options_; }
+
+ private:
+  StatusOr<skew::SkewTriple> Exec(const plan::PlanPtr& p);
+
+  runtime::Cluster* cluster_;
+  ExecOptions options_;
+  std::map<std::string, skew::SkewTriple> registry_;
+};
+
+}  // namespace exec
+}  // namespace trance
+
+#endif  // TRANCE_EXEC_LOWERING_H_

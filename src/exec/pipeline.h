@@ -1,0 +1,96 @@
+// Compilation-route drivers: the standard pipeline (Section 3) and, layered
+// on top of the shredding module, the shredded pipeline (Section 4) with
+// materialization and unshredding. These are the top-level entry points the
+// examples and benchmarks use.
+#ifndef TRANCE_EXEC_PIPELINE_H_
+#define TRANCE_EXEC_PIPELINE_H_
+
+#include <map>
+#include <string>
+
+#include "exec/lowering.h"
+#include "nrc/expr.h"
+#include "nrc/value.h"
+#include "plan/optimizer.h"
+#include "shred/materialize.h"
+#include "shred/value_shredder.h"
+#include "util/status.h"
+
+namespace trance {
+namespace exec {
+
+struct PipelineOptions {
+  plan::OptimizerOptions optimizer;
+  ExecOptions exec;
+
+  /// The SparkSQL competitor mode of Section 6: no cogroup fusion (the
+  /// optimizer restriction the paper identifies for SparkSQL).
+  static PipelineOptions SparkSql() {
+    PipelineOptions o;
+    o.optimizer.enable_cogroup = false;
+    return o;
+  }
+};
+
+/// Compiles `program` through unnesting + optimization and executes it on
+/// `executor` (inputs must be registered under the program's input names).
+/// Returns the final assignment's dataset.
+StatusOr<runtime::Dataset> RunStandard(const nrc::Program& program,
+                                       Executor* executor,
+                                       const PipelineOptions& options);
+
+/// Convenience for tests: feeds nested nrc::Values as inputs, runs the
+/// standard route on a fresh executor over `cluster`, and converts the
+/// result back to a nested value.
+StatusOr<nrc::Value> RunStandardOnValues(
+    const nrc::Program& program,
+    const std::map<std::string, nrc::Value>& inputs,
+    runtime::Cluster* cluster, const PipelineOptions& options);
+
+// --- Shredded pipeline (Section 4) --------------------------------------
+
+/// Result of the shredded route: the materialized top bag and relational
+/// dictionaries (label-partitioned), plus the nested output type for
+/// unshredding.
+struct ShreddedRun {
+  runtime::Dataset top;
+  std::vector<std::pair<std::string, runtime::Dataset>> dicts;  // path -> ds
+  nrc::TypePtr output_type;
+};
+
+/// Registers the shredded representation of nested input `name` (value
+/// shredding + conversion to datasets; dictionaries label-partitioned).
+Status RegisterShreddedInput(Executor* executor, const std::string& name,
+                             const nrc::TypePtr& type, const nrc::Value& value,
+                             int64_t label_seed);
+
+/// Shreds + materializes `program` (Section 4), compiles the materialized
+/// assignments through the same unnesting/optimization stages, and executes
+/// them. Dictionary assignments end in BagToDict, giving them the label
+/// partitioning guarantee (skew-aware in skew mode). Inputs must be
+/// registered in shredded form (X_F / X_D_<path>).
+StatusOr<ShreddedRun> RunShredded(const nrc::Program& program,
+                                  Executor* executor,
+                                  const PipelineOptions& options,
+                                  shred::MaterializeMode mode =
+                                      shred::MaterializeMode::kDomainElimination);
+
+/// Restores the nested output from a shredded run: bottom-up cogroups of
+/// each dictionary with its parent on labels (the regrouping whose cost the
+/// paper reports as Unshred).
+StatusOr<runtime::Dataset> UnshredRun(Executor* executor,
+                                      const ShreddedRun& run);
+
+/// Convenience for tests: shreds the nested inputs, runs the shredded route,
+/// unshreds, and converts back to a nested value.
+StatusOr<nrc::Value> RunShreddedOnValues(
+    const nrc::Program& program,
+    const std::map<std::string, nrc::Value>& inputs,
+    runtime::Cluster* cluster, const PipelineOptions& options,
+    shred::MaterializeMode mode =
+        shred::MaterializeMode::kDomainElimination);
+
+}  // namespace exec
+}  // namespace trance
+
+#endif  // TRANCE_EXEC_PIPELINE_H_

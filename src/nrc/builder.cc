@@ -1,0 +1,35 @@
+#include "nrc/builder.h"
+
+namespace trance {
+namespace nrc {
+namespace dsl {
+
+ExprPtr V(const std::string& path) {
+  size_t pos = path.find('.');
+  if (pos == std::string::npos) return Expr::Var(path);
+  ExprPtr e = Expr::Var(path.substr(0, pos));
+  while (pos != std::string::npos) {
+    size_t next = path.find('.', pos + 1);
+    std::string attr = next == std::string::npos
+                           ? path.substr(pos + 1)
+                           : path.substr(pos + 1, next - pos - 1);
+    e = Expr::Proj(std::move(e), attr);
+    pos = next;
+  }
+  return e;
+}
+
+TypePtr Tu(std::vector<std::pair<std::string, TypePtr>> fields) {
+  std::vector<Field> fs;
+  fs.reserve(fields.size());
+  for (auto& [n, t] : fields) fs.push_back({std::move(n), std::move(t)});
+  return Type::Tuple(std::move(fs));
+}
+
+TypePtr BagTu(std::vector<std::pair<std::string, TypePtr>> fields) {
+  return Type::Bag(Tu(std::move(fields)));
+}
+
+}  // namespace dsl
+}  // namespace nrc
+}  // namespace trance

@@ -1,0 +1,103 @@
+// Terse construction helpers for NRC expressions ("the weapon of choice for
+// rapid prototyping"): benchmark query suites and tests build programs with
+// these instead of raw Expr factories.
+#ifndef TRANCE_NRC_BUILDER_H_
+#define TRANCE_NRC_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "nrc/expr.h"
+
+namespace trance {
+namespace nrc {
+namespace dsl {
+
+/// Variable reference, optionally with a projection path: V("x"),
+/// V("x.a.b") == Proj(Proj(Var(x), a), b).
+ExprPtr V(const std::string& path);
+
+inline ExprPtr I(int64_t v) { return Expr::Const(ConstValue::Int(v)); }
+inline ExprPtr R(double v) { return Expr::Const(ConstValue::Real(v)); }
+inline ExprPtr S(const std::string& v) {
+  return Expr::Const(ConstValue::Str(v));
+}
+inline ExprPtr B(bool v) { return Expr::Const(ConstValue::Bool(v)); }
+
+/// Tuple constructor: Tup({{"a", e1}, {"b", e2}}).
+inline ExprPtr Tup(std::vector<NamedExpr> fields) {
+  return Expr::Tuple(std::move(fields));
+}
+/// Singleton-of-tuple, the most common comprehension head.
+inline ExprPtr SngTup(std::vector<NamedExpr> fields) {
+  return Expr::Singleton(Expr::Tuple(std::move(fields)));
+}
+inline ExprPtr Sng(ExprPtr e) { return Expr::Singleton(std::move(e)); }
+
+inline ExprPtr For(const std::string& var, ExprPtr domain, ExprPtr body) {
+  return Expr::ForUnion(var, std::move(domain), std::move(body));
+}
+inline ExprPtr Let(const std::string& var, ExprPtr value, ExprPtr body) {
+  return Expr::Let(var, std::move(value), std::move(body));
+}
+inline ExprPtr If(ExprPtr cond, ExprPtr then_e, ExprPtr else_e = nullptr) {
+  return Expr::IfThen(std::move(cond), std::move(then_e), std::move(else_e));
+}
+
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::Cmp(CmpOpKind::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::BoolOp(BoolOpKind::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::BoolOp(BoolOpKind::kOr, std::move(a), std::move(b));
+}
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::PrimOp(PrimOpKind::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::PrimOp(PrimOpKind::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::PrimOp(PrimOpKind::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::PrimOp(PrimOpKind::kDiv, std::move(a), std::move(b));
+}
+
+inline ExprPtr SumBy(std::vector<std::string> keys,
+                     std::vector<std::string> values, ExprPtr e) {
+  return Expr::SumBy(std::move(keys), std::move(values), std::move(e));
+}
+inline ExprPtr GroupBy(std::vector<std::string> keys, ExprPtr e,
+                       const std::string& group_attr = "group") {
+  return Expr::GroupBy(std::move(keys), std::move(e), group_attr);
+}
+
+/// Tuple type helper: Tu({{"a", Type::Int()}, ...}).
+TypePtr Tu(std::vector<std::pair<std::string, TypePtr>> fields);
+/// Bag-of-tuple type helper.
+TypePtr BagTu(std::vector<std::pair<std::string, TypePtr>> fields);
+
+}  // namespace dsl
+}  // namespace nrc
+}  // namespace trance
+
+#endif  // TRANCE_NRC_BUILDER_H_

@@ -1,0 +1,445 @@
+#include "nrc/interp.h"
+
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace trance {
+namespace nrc {
+
+Value DefaultValue(const TypePtr& type) {
+  if (type == nullptr) return Value::Int(0);
+  switch (type->kind()) {
+    case Type::Kind::kScalar:
+      switch (type->scalar_kind()) {
+        case ScalarKind::kInt:
+        case ScalarKind::kDate:
+          return Value::Int(0);
+        case ScalarKind::kReal:
+          return Value::Real(0.0);
+        case ScalarKind::kString:
+          return Value::Str("");
+        case ScalarKind::kBool:
+          return Value::Bool(false);
+      }
+      return Value::Int(0);
+    case Type::Kind::kLabel:
+      return Value::Label({});
+    case Type::Kind::kBag:
+    case Type::Kind::kDict:
+      return Value::EmptyBag();
+    case Type::Kind::kTuple: {
+      TupleValue t;
+      for (const auto& f : type->fields()) {
+        t.fields.emplace_back(f.name, DefaultValue(f.type));
+      }
+      return Value::Tuple(std::move(t));
+    }
+  }
+  return Value::Int(0);
+}
+
+StatusOr<Value> Interpreter::ApplyDict(const Value& dict, const Value& label) {
+  if (dict.is_closure()) {
+    const ClosureValue& c = dict.AsClosure();
+    EnvPtr env = Env::Bind(c.env, c.var, label);
+    return Eval(c.body, env);
+  }
+  if (dict.is_bag()) {
+    // Two bag encodings are accepted: label/value pairs (Fig. 5) and the
+    // relational representation (label column + element fields), which the
+    // runtime uses.
+    std::vector<Value> out;
+    for (const auto& entry : dict.AsBag().elems) {
+      TRANCE_ASSIGN_OR_RETURN(Value l, entry.Field("label"));
+      if (!(l == label)) continue;
+      auto pair_value = entry.Field("value");
+      if (pair_value.ok()) {
+        if (!pair_value->is_bag()) {
+          return Status::TypeError("dictionary value is not a bag");
+        }
+        for (const auto& x : pair_value->AsBag().elems) out.push_back(x);
+        continue;
+      }
+      nrc::TupleValue rest;
+      for (const auto& [n, v] : entry.AsTuple().fields) {
+        if (n != "label") rest.fields.emplace_back(n, v);
+      }
+      if (rest.fields.size() == 1 && rest.fields[0].first == "_value") {
+        out.push_back(rest.fields[0].second);
+      } else {
+        out.push_back(Value::Tuple(std::move(rest)));
+      }
+    }
+    return Value::Bag(std::move(out));
+  }
+  return Status::TypeError("ApplyDict on non-dictionary value " +
+                           dict.ToString());
+}
+
+StatusOr<Value> Interpreter::EvalGroupBy(const Expr& e, const Value& input) {
+  if (!input.is_bag()) return Status::TypeError("groupBy over non-bag");
+  // Group while preserving first-seen key order (determinism for tests).
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> index;
+  std::vector<std::pair<Value, std::vector<Value>>> groups;
+  for (const auto& t : input.AsBag().elems) {
+    if (!t.is_tuple()) return Status::TypeError("groupBy over non-tuples");
+    TupleValue key;
+    TupleValue rest;
+    for (const auto& [n, v] : t.AsTuple().fields) {
+      bool is_key = false;
+      for (const auto& k : e.keys()) {
+        if (k == n) {
+          is_key = true;
+          break;
+        }
+      }
+      if (is_key) {
+        key.fields.emplace_back(n, v);
+      } else {
+        rest.fields.emplace_back(n, v);
+      }
+    }
+    if (key.fields.size() != e.keys().size()) {
+      return Status::KeyError("groupBy key attribute missing from tuple");
+    }
+    Value kv = Value::Tuple(std::move(key));
+    auto [it, inserted] = index.try_emplace(kv, groups.size());
+    if (inserted) groups.emplace_back(kv, std::vector<Value>{});
+    groups[it->second].second.push_back(Value::Tuple(std::move(rest)));
+  }
+  std::vector<Value> out;
+  out.reserve(groups.size());
+  for (auto& [kv, members] : groups) {
+    TupleValue row;
+    for (const auto& [n, v] : kv.AsTuple().fields) {
+      row.fields.emplace_back(n, v);
+    }
+    row.fields.emplace_back(e.attr(), Value::Bag(std::move(members)));
+    out.push_back(Value::Tuple(std::move(row)));
+  }
+  return Value::Bag(std::move(out));
+}
+
+StatusOr<Value> Interpreter::EvalSumBy(const Expr& e, const Value& input) {
+  if (!input.is_bag()) return Status::TypeError("sumBy over non-bag");
+  struct Acc {
+    std::vector<double> sums;
+    std::vector<bool> is_int;
+  };
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> index;
+  std::vector<std::pair<Value, Acc>> groups;
+  for (const auto& t : input.AsBag().elems) {
+    if (!t.is_tuple()) return Status::TypeError("sumBy over non-tuples");
+    TupleValue key;
+    for (const auto& k : e.keys()) {
+      TRANCE_ASSIGN_OR_RETURN(Value kv, t.Field(k));
+      key.fields.emplace_back(k, std::move(kv));
+    }
+    Value kv = Value::Tuple(std::move(key));
+    auto [it, inserted] = index.try_emplace(kv, groups.size());
+    if (inserted) {
+      Acc acc;
+      acc.sums.assign(e.values().size(), 0.0);
+      acc.is_int.assign(e.values().size(), true);
+      groups.emplace_back(kv, std::move(acc));
+    }
+    Acc& acc = groups[it->second].second;
+    for (size_t i = 0; i < e.values().size(); ++i) {
+      TRANCE_ASSIGN_OR_RETURN(Value vv, t.Field(e.values()[i]));
+      if (!vv.is_int() && !vv.is_real()) {
+        return Status::TypeError("sumBy over non-numeric value attribute " +
+                                 e.values()[i]);
+      }
+      if (!vv.is_int()) acc.is_int[i] = false;
+      acc.sums[i] += vv.AsNumber();
+    }
+  }
+  std::vector<Value> out;
+  out.reserve(groups.size());
+  for (auto& [kv, acc] : groups) {
+    TupleValue row;
+    for (const auto& [n, v] : kv.AsTuple().fields) {
+      row.fields.emplace_back(n, v);
+    }
+    for (size_t i = 0; i < e.values().size(); ++i) {
+      row.fields.emplace_back(
+          e.values()[i], acc.is_int[i]
+                             ? Value::Int(static_cast<int64_t>(acc.sums[i]))
+                             : Value::Real(acc.sums[i]));
+    }
+    out.push_back(Value::Tuple(std::move(row)));
+  }
+  return Value::Bag(std::move(out));
+}
+
+StatusOr<Value> Interpreter::DictUnion(const Value& a, const Value& b) {
+  // Dictionary-tree union: tuples merge attribute-wise; *fun attributes are
+  // dictionaries (bags of label/value pairs, or closures reduced to bags is
+  // not possible symbolically, so closures union via bag concatenation when
+  // both sides are bags); *child attributes recurse.
+  if (a.is_bag() && b.is_bag()) {
+    std::vector<Value> elems = a.AsBag().elems;
+    for (const auto& x : b.AsBag().elems) elems.push_back(x);
+    return Value::Bag(std::move(elems));
+  }
+  if (a.is_tuple() && b.is_tuple()) {
+    const auto& fa = a.AsTuple().fields;
+    const auto& fb = b.AsTuple().fields;
+    if (fa.size() != fb.size()) {
+      return Status::TypeError("DictTreeUnion of different tuple widths");
+    }
+    TupleValue out;
+    for (size_t i = 0; i < fa.size(); ++i) {
+      if (fa[i].first != fb[i].first) {
+        return Status::TypeError("DictTreeUnion attribute mismatch");
+      }
+      // A child dictionary tree is wrapped in a singleton bag; merge the
+      // wrapped trees rather than concatenating the wrappers.
+      const Value& va = fa[i].second;
+      const Value& vb = fb[i].second;
+      bool child_wrapper = va.is_bag() && vb.is_bag() &&
+                           va.AsBag().elems.size() == 1 &&
+                           vb.AsBag().elems.size() == 1 &&
+                           va.AsBag().elems[0].is_tuple();
+      if (child_wrapper) {
+        TRANCE_ASSIGN_OR_RETURN(
+            Value merged, DictUnion(va.AsBag().elems[0], vb.AsBag().elems[0]));
+        out.fields.emplace_back(fa[i].first,
+                                Value::Bag({std::move(merged)}));
+      } else {
+        TRANCE_ASSIGN_OR_RETURN(Value merged, DictUnion(va, vb));
+        out.fields.emplace_back(fa[i].first, std::move(merged));
+      }
+    }
+    return Value::Tuple(std::move(out));
+  }
+  return Status::TypeError("DictTreeUnion over unsupported value shapes");
+}
+
+StatusOr<Value> Interpreter::Eval(const ExprPtr& e, const EnvPtr& env) {
+  using K = Expr::Kind;
+  switch (e->kind()) {
+    case K::kConst:
+      return Value::FromConst(e->const_value());
+    case K::kVarRef: {
+      const Value* v = Env::Find(env, e->var_name());
+      if (v == nullptr) {
+        return Status::KeyError("unbound variable " + e->var_name());
+      }
+      return *v;
+    }
+    case K::kProj: {
+      TRANCE_ASSIGN_OR_RETURN(Value base, Eval(e->child(0), env));
+      return base.Field(e->attr());
+    }
+    case K::kTupleCtor: {
+      TupleValue t;
+      t.fields.reserve(e->fields().size());
+      for (const auto& f : e->fields()) {
+        TRANCE_ASSIGN_OR_RETURN(Value v, Eval(f.expr, env));
+        t.fields.emplace_back(f.name, std::move(v));
+      }
+      return Value::Tuple(std::move(t));
+    }
+    case K::kEmptyBag:
+      return Value::EmptyBag();
+    case K::kSingleton: {
+      TRANCE_ASSIGN_OR_RETURN(Value v, Eval(e->child(0), env));
+      return Value::Bag({std::move(v)});
+    }
+    case K::kGet: {
+      TRANCE_ASSIGN_OR_RETURN(Value v, Eval(e->child(0), env));
+      if (!v.is_bag()) return Status::TypeError("get() on non-bag");
+      if (v.AsBag().elems.size() == 1) return v.AsBag().elems[0];
+      // The memoized type of the get() node is the element type itself.
+      TypePtr t = types_ == nullptr ? nullptr : types_->TypeOf(e.get());
+      return DefaultValue(t);
+    }
+    case K::kForUnion: {
+      TRANCE_ASSIGN_OR_RETURN(Value dom, Eval(e->child(0), env));
+      if (!dom.is_bag()) return Status::TypeError("for over non-bag");
+      std::vector<Value> out;
+      for (const auto& x : dom.AsBag().elems) {
+        EnvPtr inner = Env::Bind(env, e->var_name(), x);
+        TRANCE_ASSIGN_OR_RETURN(Value body, Eval(e->child(1), inner));
+        if (!body.is_bag()) {
+          return Status::TypeError("for-union body is not a bag");
+        }
+        for (const auto& y : body.AsBag().elems) out.push_back(y);
+      }
+      return Value::Bag(std::move(out));
+    }
+    case K::kUnion: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value b, Eval(e->child(1), env));
+      if (!a.is_bag() || !b.is_bag()) {
+        return Status::TypeError("union of non-bags");
+      }
+      std::vector<Value> out = a.AsBag().elems;
+      for (const auto& y : b.AsBag().elems) out.push_back(y);
+      return Value::Bag(std::move(out));
+    }
+    case K::kLet: {
+      TRANCE_ASSIGN_OR_RETURN(Value v, Eval(e->child(0), env));
+      EnvPtr inner = Env::Bind(env, e->var_name(), std::move(v));
+      return Eval(e->child(1), inner);
+    }
+    case K::kIfThen: {
+      TRANCE_ASSIGN_OR_RETURN(Value c, Eval(e->child(0), env));
+      if (!c.is_bool()) return Status::TypeError("if on non-bool");
+      if (c.AsBool()) return Eval(e->child(1), env);
+      if (e->num_children() == 3) return Eval(e->child(2), env);
+      return Value::EmptyBag();
+    }
+    case K::kPrimOp: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value b, Eval(e->child(1), env));
+      if ((!a.is_int() && !a.is_real()) || (!b.is_int() && !b.is_real())) {
+        return Status::TypeError("arithmetic on non-numeric values");
+      }
+      bool int_result = a.is_int() && b.is_int() &&
+                        e->prim_op() != PrimOpKind::kDiv;
+      double x = a.AsNumber(), y = b.AsNumber();
+      double r = 0;
+      switch (e->prim_op()) {
+        case PrimOpKind::kAdd:
+          r = x + y;
+          break;
+        case PrimOpKind::kSub:
+          r = x - y;
+          break;
+        case PrimOpKind::kMul:
+          r = x * y;
+          break;
+        case PrimOpKind::kDiv:
+          if (y == 0) return Status::Invalid("division by zero");
+          r = x / y;
+          break;
+      }
+      return int_result ? Value::Int(static_cast<int64_t>(r)) : Value::Real(r);
+    }
+    case K::kCmp: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value b, Eval(e->child(1), env));
+      switch (e->cmp_op()) {
+        case CmpOpKind::kEq:
+          return Value::Bool(a == b);
+        case CmpOpKind::kNe:
+          return Value::Bool(!(a == b));
+        case CmpOpKind::kLt:
+          return Value::Bool(ValueLess(a, b));
+        case CmpOpKind::kLe:
+          return Value::Bool(!ValueLess(b, a));
+        case CmpOpKind::kGt:
+          return Value::Bool(ValueLess(b, a));
+        case CmpOpKind::kGe:
+          return Value::Bool(!ValueLess(a, b));
+      }
+      return Status::Internal("bad cmp op");
+    }
+    case K::kBoolOp: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      if (!a.is_bool()) return Status::TypeError("bool op on non-bool");
+      if (e->bool_op() == BoolOpKind::kAnd && !a.AsBool()) {
+        return Value::Bool(false);
+      }
+      if (e->bool_op() == BoolOpKind::kOr && a.AsBool()) {
+        return Value::Bool(true);
+      }
+      TRANCE_ASSIGN_OR_RETURN(Value b, Eval(e->child(1), env));
+      if (!b.is_bool()) return Status::TypeError("bool op on non-bool");
+      return b;
+    }
+    case K::kNot: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      if (!a.is_bool()) return Status::TypeError("not on non-bool");
+      return Value::Bool(!a.AsBool());
+    }
+    case K::kDedup: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      if (!a.is_bag()) return Status::TypeError("dedup on non-bag");
+      std::unordered_map<Value, bool, ValueHash, ValueEq> seen;
+      std::vector<Value> out;
+      for (const auto& x : a.AsBag().elems) {
+        if (seen.try_emplace(x, true).second) out.push_back(x);
+      }
+      return Value::Bag(std::move(out));
+    }
+    case K::kGroupBy: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      return EvalGroupBy(*e, a);
+    }
+    case K::kSumBy: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      return EvalSumBy(*e, a);
+    }
+    case K::kNewLabel: {
+      std::vector<std::pair<std::string, Value>> params;
+      params.reserve(e->fields().size());
+      for (const auto& p : e->fields()) {
+        TRANCE_ASSIGN_OR_RETURN(Value v, Eval(p.expr, env));
+        params.emplace_back(p.name, std::move(v));
+      }
+      return Value::Label(std::move(params));
+    }
+    case K::kMatchLabel: {
+      TRANCE_ASSIGN_OR_RETURN(Value l, Eval(e->child(0), env));
+      if (!l.is_label()) return Status::TypeError("match on non-label");
+      TupleValue params;
+      for (const auto& [n, v] : l.AsLabel().params) {
+        params.fields.emplace_back(n, v);
+      }
+      EnvPtr inner =
+          Env::Bind(env, e->var_name(), Value::Tuple(std::move(params)));
+      StatusOr<Value> body = Eval(e->child(1), inner);
+      if (!body.ok() && body.status().code() == StatusCode::kKeyError) {
+        // "If there is no such x, F returns the empty bag."
+        return Value::EmptyBag();
+      }
+      return body;
+    }
+    case K::kLookup: {
+      TRANCE_ASSIGN_OR_RETURN(Value d, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value l, Eval(e->child(1), env));
+      return ApplyDict(d, l);
+    }
+    case K::kMatLookup: {
+      TRANCE_ASSIGN_OR_RETURN(Value d, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value l, Eval(e->child(1), env));
+      return ApplyDict(d, l);
+    }
+    case K::kLambda:
+      return Value::Closure({e->var_name(), e->child(0), env});
+    case K::kDictTreeUnion: {
+      TRANCE_ASSIGN_OR_RETURN(Value a, Eval(e->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(Value b, Eval(e->child(1), env));
+      return DictUnion(a, b);
+    }
+    case K::kBagToDict:
+      return Eval(e->child(0), env);
+  }
+  return Status::Internal("unhandled expression kind in interpreter");
+}
+
+StatusOr<std::map<std::string, Value>> Interpreter::EvalProgram(
+    const Program& program, const std::map<std::string, Value>& inputs) {
+  EnvPtr env = Env::Empty();
+  std::map<std::string, Value> out;
+  for (const auto& in : program.inputs) {
+    auto it = inputs.find(in.name);
+    if (it == inputs.end()) {
+      return Status::Invalid("missing input relation " + in.name);
+    }
+    env = Env::Bind(env, in.name, it->second);
+  }
+  for (const auto& a : program.assignments) {
+    TRANCE_ASSIGN_OR_RETURN(Value v, Eval(a.expr, env));
+    env = Env::Bind(env, a.var, v);
+    out[a.var] = std::move(v);
+  }
+  return out;
+}
+
+}  // namespace nrc
+}  // namespace trance

@@ -1,0 +1,56 @@
+// Reference interpreter for NRC / NRC^{Lbl+lambda} over nested values.
+//
+// This is the semantic oracle: every compilation route (standard, shredded,
+// skew-aware) is property-tested against it. It evaluates centrally and
+// recursively, with no regard for distribution.
+#ifndef TRANCE_NRC_INTERP_H_
+#define TRANCE_NRC_INTERP_H_
+
+#include <map>
+#include <string>
+
+#include "nrc/expr.h"
+#include "nrc/typecheck.h"
+#include "nrc/value.h"
+#include "util/status.h"
+
+namespace trance {
+namespace nrc {
+
+/// Returns the "default value" of a type (what get() yields on a non-
+/// singleton bag).
+Value DefaultValue(const TypePtr& type);
+
+/// NRC interpreter. An optional Typechecker supplies per-node types so that
+/// get() can produce typed default values; without it, get() on a
+/// non-singleton bag returns Int(0).
+class Interpreter {
+ public:
+  Interpreter() = default;
+  /// `types` may be nullptr; if given it must have checked the same nodes.
+  explicit Interpreter(const Typechecker* types) : types_(types) {}
+
+  /// Evaluates `e` under environment `env`.
+  StatusOr<Value> Eval(const ExprPtr& e, const EnvPtr& env);
+
+  /// Runs a program: binds `inputs`, evaluates each assignment in order, and
+  /// returns the value of every assigned variable.
+  StatusOr<std::map<std::string, Value>> EvalProgram(
+      const Program& program, const std::map<std::string, Value>& inputs);
+
+  /// Applies a dictionary value to a label: closures are beta-reduced;
+  /// bags of <label, value> pairs are scanned (union of matching bags).
+  StatusOr<Value> ApplyDict(const Value& dict, const Value& label);
+
+ private:
+  StatusOr<Value> EvalGroupBy(const Expr& e, const Value& input);
+  StatusOr<Value> EvalSumBy(const Expr& e, const Value& input);
+  StatusOr<Value> DictUnion(const Value& a, const Value& b);
+
+  const Typechecker* types_ = nullptr;
+};
+
+}  // namespace nrc
+}  // namespace trance
+
+#endif  // TRANCE_NRC_INTERP_H_

@@ -1,0 +1,139 @@
+#include "nrc/printer.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace trance {
+namespace nrc {
+
+namespace {
+
+std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+std::string Print(const ExprPtr& e, int indent);
+
+std::string PrintConst(const ConstValue& c) {
+  switch (c.kind) {
+    case ScalarKind::kInt:
+      return std::to_string(std::get<int64_t>(c.v));
+    case ScalarKind::kDate:
+      return "date:" + std::to_string(std::get<int64_t>(c.v));
+    case ScalarKind::kReal:
+      return FormatDouble(std::get<double>(c.v), 4);
+    case ScalarKind::kString:
+      return "\"" + std::get<std::string>(c.v) + "\"";
+    case ScalarKind::kBool:
+      return std::get<bool>(c.v) ? "true" : "false";
+  }
+  return "?";
+}
+
+std::string Print(const ExprPtr& e, int indent) {
+  using K = Expr::Kind;
+  switch (e->kind()) {
+    case K::kConst:
+      return PrintConst(e->const_value());
+    case K::kVarRef:
+      return e->var_name();
+    case K::kProj:
+      return Print(e->child(0), indent) + "." + e->attr();
+    case K::kTupleCtor: {
+      std::vector<std::string> parts;
+      for (const auto& f : e->fields()) {
+        parts.push_back(f.name + " := " + Print(f.expr, indent + 1));
+      }
+      return "<" + Join(parts, ", ") + ">";
+    }
+    case K::kEmptyBag:
+      return "{}";
+    case K::kSingleton:
+      return "{ " + Print(e->child(0), indent) + " }";
+    case K::kGet:
+      return "get(" + Print(e->child(0), indent) + ")";
+    case K::kForUnion:
+      return "for " + e->var_name() + " in " + Print(e->child(0), indent) +
+             " union\n" + Ind(indent + 1) + Print(e->child(1), indent + 1);
+    case K::kUnion:
+      return Print(e->child(0), indent) + " (+) " + Print(e->child(1), indent);
+    case K::kLet:
+      return "let " + e->var_name() + " := " + Print(e->child(0), indent) +
+             " in\n" + Ind(indent) + Print(e->child(1), indent);
+    case K::kIfThen: {
+      std::string s = "if " + Print(e->child(0), indent) + " then " +
+                      Print(e->child(1), indent + 1);
+      if (e->num_children() == 3) {
+        s += " else " + Print(e->child(2), indent + 1);
+      }
+      return s;
+    }
+    case K::kPrimOp:
+      return "(" + Print(e->child(0), indent) + " " +
+             PrimOpName(e->prim_op()) + " " + Print(e->child(1), indent) + ")";
+    case K::kCmp:
+      return Print(e->child(0), indent) + " " + CmpOpName(e->cmp_op()) + " " +
+             Print(e->child(1), indent);
+    case K::kBoolOp:
+      return "(" + Print(e->child(0), indent) + " " +
+             BoolOpName(e->bool_op()) + " " + Print(e->child(1), indent) + ")";
+    case K::kNot:
+      return "!(" + Print(e->child(0), indent) + ")";
+    case K::kDedup:
+      return "dedup(" + Print(e->child(0), indent) + ")";
+    case K::kGroupBy:
+      return "groupBy_{" + Join(e->keys(), ",") + "}(" +
+             Print(e->child(0), indent + 1) + ")";
+    case K::kSumBy: {
+      // values() carries the summed attributes; keys() the grouping ones.
+      const Expr& ex = *e;
+      std::string vals = Join(ex.values(), ",");
+      return "sumBy^{" + vals + "}_{" + Join(ex.keys(), ",") + "}(" +
+             Print(e->child(0), indent + 1) + ")";
+    }
+    case K::kNewLabel: {
+      std::vector<std::string> parts;
+      for (const auto& f : e->fields()) {
+        parts.push_back(f.name + " := " + Print(f.expr, indent));
+      }
+      return "NewLabel(" + Join(parts, ", ") + ")";
+    }
+    case K::kMatchLabel:
+      return "match " + Print(e->child(0), indent) + " = NewLabel(" +
+             e->var_name() + ") then\n" + Ind(indent + 1) +
+             Print(e->child(1), indent + 1);
+    case K::kLookup:
+      return "Lookup(" + Print(e->child(0), indent) + ", " +
+             Print(e->child(1), indent) + ")";
+    case K::kMatLookup:
+      return "MatLookup(" + Print(e->child(0), indent) + ", " +
+             Print(e->child(1), indent) + ")";
+    case K::kLambda:
+      return "\\" + e->var_name() + ". " + Print(e->child(0), indent);
+    case K::kDictTreeUnion:
+      return Print(e->child(0), indent) + " DictTreeUnion " +
+             Print(e->child(1), indent);
+    case K::kBagToDict:
+      return "BagToDict(" + Print(e->child(0), indent) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrintExpr(const ExprPtr& e, int indent) {
+  return Print(e, indent);
+}
+
+std::string PrintProgram(const Program& program) {
+  std::ostringstream os;
+  for (const auto& in : program.inputs) {
+    os << "input " << in.name << " : " << in.type->ToString() << "\n";
+  }
+  for (const auto& a : program.assignments) {
+    os << a.var << " <= " << PrintExpr(a.expr, 1) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nrc
+}  // namespace trance

@@ -1,0 +1,23 @@
+// Pretty-printer for NRC expressions and programs, in the paper's notation.
+#ifndef TRANCE_NRC_PRINTER_H_
+#define TRANCE_NRC_PRINTER_H_
+
+#include <string>
+
+#include "nrc/expr.h"
+
+namespace trance {
+namespace nrc {
+
+/// Renders an expression in the paper's surface syntax (for-union,
+/// sumBy^{v}_{k}, NewLabel(...), match, ...). `indent` is the starting
+/// indentation depth.
+std::string PrintExpr(const ExprPtr& e, int indent = 0);
+
+/// Renders a whole program as a sequence of `var <= expr` assignments.
+std::string PrintProgram(const Program& program);
+
+}  // namespace nrc
+}  // namespace trance
+
+#endif  // TRANCE_NRC_PRINTER_H_

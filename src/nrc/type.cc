@@ -1,0 +1,167 @@
+#include "nrc/type.h"
+
+#include "util/strings.h"
+
+namespace trance {
+namespace nrc {
+
+const char* ScalarKindName(ScalarKind k) {
+  switch (k) {
+    case ScalarKind::kInt:
+      return "int";
+    case ScalarKind::kReal:
+      return "real";
+    case ScalarKind::kString:
+      return "string";
+    case ScalarKind::kBool:
+      return "bool";
+    case ScalarKind::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+TypePtr Type::Scalar(ScalarKind k) {
+  auto t = std::shared_ptr<Type>(new Type(Kind::kScalar));
+  t->scalar_kind_ = k;
+  return t;
+}
+
+TypePtr Type::Int() {
+  static const TypePtr t = Scalar(ScalarKind::kInt);
+  return t;
+}
+TypePtr Type::Real() {
+  static const TypePtr t = Scalar(ScalarKind::kReal);
+  return t;
+}
+TypePtr Type::String() {
+  static const TypePtr t = Scalar(ScalarKind::kString);
+  return t;
+}
+TypePtr Type::Bool() {
+  static const TypePtr t = Scalar(ScalarKind::kBool);
+  return t;
+}
+TypePtr Type::Date() {
+  static const TypePtr t = Scalar(ScalarKind::kDate);
+  return t;
+}
+
+TypePtr Type::Tuple(std::vector<Field> fields) {
+  auto t = std::shared_ptr<Type>(new Type(Kind::kTuple));
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+TypePtr Type::Bag(TypePtr element) {
+  TRANCE_CHECK(element != nullptr, "Bag(null)");
+  auto t = std::shared_ptr<Type>(new Type(Kind::kBag));
+  t->element_ = std::move(element);
+  return t;
+}
+
+TypePtr Type::Label() {
+  static const TypePtr t = std::shared_ptr<Type>(new Type(Kind::kLabel));
+  return t;
+}
+
+TypePtr Type::Dict(TypePtr bag) {
+  TRANCE_CHECK(bag != nullptr && bag->is_bag(), "Dict over non-bag");
+  auto t = std::shared_ptr<Type>(new Type(Kind::kDict));
+  t->element_ = std::move(bag);
+  return t;
+}
+
+int Type::FieldIndex(const std::string& name) const {
+  TRANCE_CHECK(is_tuple(), "FieldIndex on non-tuple");
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<TypePtr> Type::FieldType(const std::string& name) const {
+  if (!is_tuple()) {
+    return Status::TypeError("projection ." + name + " on non-tuple type " +
+                             ToString());
+  }
+  int i = FieldIndex(name);
+  if (i < 0) {
+    return Status::TypeError("no attribute '" + name + "' in " + ToString());
+  }
+  return fields_[static_cast<size_t>(i)].type;
+}
+
+bool Type::IsFlatBag() const {
+  if (!is_bag()) return false;
+  const TypePtr& el = element_;
+  if (el->is_scalar()) return true;
+  if (!el->is_tuple()) return false;
+  for (const auto& f : el->fields()) {
+    if (!f.type->is_scalar() && !f.type->is_label()) return false;
+  }
+  return true;
+}
+
+bool Type::IsFlatValueType() const {
+  switch (kind_) {
+    case Kind::kScalar:
+    case Kind::kLabel:
+      return true;
+    case Kind::kTuple:
+      for (const auto& f : fields_) {
+        if (!f.type->IsFlatValueType()) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case Kind::kScalar:
+      return ScalarKindName(scalar_kind_);
+    case Kind::kLabel:
+      return "Label";
+    case Kind::kBag:
+      return "Bag(" + element_->ToString() + ")";
+    case Kind::kDict:
+      return "Label -> " + element_->ToString();
+    case Kind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(fields_.size());
+      for (const auto& f : fields_) {
+        parts.push_back(f.name + ": " + f.type->ToString());
+      }
+      return "<" + Join(parts, ", ") + ">";
+    }
+  }
+  return "?";
+}
+
+bool TypeEquals(const Type& a, const Type& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Type::Kind::kScalar:
+      return a.scalar_kind_ == b.scalar_kind_;
+    case Type::Kind::kLabel:
+      return true;
+    case Type::Kind::kBag:
+    case Type::Kind::kDict:
+      return TypeEquals(*a.element_, *b.element_);
+    case Type::Kind::kTuple: {
+      if (a.fields_.size() != b.fields_.size()) return false;
+      for (size_t i = 0; i < a.fields_.size(); ++i) {
+        if (a.fields_[i].name != b.fields_[i].name) return false;
+        if (!TypeEquals(*a.fields_[i].type, *b.fields_[i].type)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nrc
+}  // namespace trance

@@ -1,0 +1,113 @@
+// NRC type system (paper Fig. 1) plus the NRC^{Lbl+lambda} extensions of
+// Section 4: Label and Dictionary (Label -> Bag(F)) types.
+//
+// Types are immutable and shared via TypePtr. The grammar:
+//   T ::= S | Bag(F)                     (top-level values)
+//   F ::= <a1:T, ..., an:T> | S          (bag contents: tuple or scalar)
+//   S ::= int | real | string | bool | date
+// plus Label and Label -> Bag(F) for the shredded pipeline.
+#ifndef TRANCE_NRC_TYPE_H_
+#define TRANCE_NRC_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trance {
+namespace nrc {
+
+enum class ScalarKind { kInt, kReal, kString, kBool, kDate };
+
+const char* ScalarKindName(ScalarKind k);
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// A named tuple field.
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+/// Immutable NRC type node.
+class Type {
+ public:
+  enum class Kind { kScalar, kTuple, kBag, kLabel, kDict };
+
+  static TypePtr Int();
+  static TypePtr Real();
+  static TypePtr String();
+  static TypePtr Bool();
+  static TypePtr Date();
+  static TypePtr Scalar(ScalarKind k);
+  static TypePtr Tuple(std::vector<Field> fields);
+  static TypePtr Bag(TypePtr element);
+  static TypePtr Label();
+  /// Dictionary type Label -> Bag(F); `bag` must be a bag type.
+  static TypePtr Dict(TypePtr bag);
+
+  Kind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_tuple() const { return kind_ == Kind::kTuple; }
+  bool is_bag() const { return kind_ == Kind::kBag; }
+  bool is_label() const { return kind_ == Kind::kLabel; }
+  bool is_dict() const { return kind_ == Kind::kDict; }
+  bool is_bool() const {
+    return is_scalar() && scalar_kind_ == ScalarKind::kBool;
+  }
+  bool is_numeric() const {
+    return is_scalar() && (scalar_kind_ == ScalarKind::kInt ||
+                           scalar_kind_ == ScalarKind::kReal);
+  }
+
+  ScalarKind scalar_kind() const {
+    TRANCE_CHECK(is_scalar(), "scalar_kind on non-scalar");
+    return scalar_kind_;
+  }
+  const std::vector<Field>& fields() const {
+    TRANCE_CHECK(is_tuple(), "fields on non-tuple");
+    return fields_;
+  }
+  /// Element type of a bag, or the value bag type of a dictionary.
+  const TypePtr& element() const {
+    TRANCE_CHECK(is_bag() || is_dict(), "element on non-bag/dict");
+    return element_;
+  }
+
+  /// Index of field `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+  /// Type of field `name`; TypeError status if absent.
+  StatusOr<TypePtr> FieldType(const std::string& name) const;
+
+  /// A bag of tuples whose attributes are all scalars (paper: "flat bag").
+  bool IsFlatBag() const;
+  /// Scalars, labels, and tuples thereof — the values a label may capture and
+  /// the legal grouping keys.
+  bool IsFlatValueType() const;
+
+  std::string ToString() const;
+
+  friend bool TypeEquals(const Type& a, const Type& b);
+
+ private:
+  explicit Type(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  ScalarKind scalar_kind_ = ScalarKind::kInt;
+  std::vector<Field> fields_;
+  TypePtr element_;
+};
+
+bool TypeEquals(const Type& a, const Type& b);
+inline bool TypeEquals(const TypePtr& a, const TypePtr& b) {
+  TRANCE_CHECK(a != nullptr && b != nullptr, "TypeEquals(null)");
+  return TypeEquals(*a, *b);
+}
+
+}  // namespace nrc
+}  // namespace trance
+
+#endif  // TRANCE_NRC_TYPE_H_

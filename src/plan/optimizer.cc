@@ -1,0 +1,553 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace trance {
+namespace plan {
+
+namespace {
+
+using nrc::Expr;
+using nrc::ExprPtr;
+
+void ExprColumnRefs(const ExprPtr& e, std::set<std::string>* out) {
+  if (e->kind() == Expr::Kind::kVarRef) {
+    out->insert(e->var_name());
+    return;
+  }
+  if (e->kind() == Expr::Kind::kNewLabel ||
+      e->kind() == Expr::Kind::kTupleCtor) {
+    for (const auto& f : e->fields()) ExprColumnRefs(f.expr, out);
+    return;
+  }
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    ExprColumnRefs(e->child(i), out);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> OutputNames(const PlanPtr& plan,
+                                               const nrc::TypeEnv& env) {
+  using K = PlanNode::Kind;
+  switch (plan->kind()) {
+    case K::kScan: {
+      auto it = env.find(plan->relation());
+      if (it == env.end() || !it->second->is_bag()) {
+        return Status::KeyError("unknown relation in plan: " +
+                                plan->relation());
+      }
+      std::vector<std::string> names;
+      if (it->second->element()->is_tuple()) {
+        for (const auto& f : it->second->element()->fields()) {
+          names.push_back(f.name);
+        }
+      } else {
+        names.push_back("_value");
+      }
+      return names;
+    }
+    case K::kSelect:
+    case K::kOuterSelect:
+    case K::kDedup:
+    case K::kBagToDict:
+    case K::kUnionAll:
+      return OutputNames(plan->child(0), env);
+    case K::kProject: {
+      std::vector<std::string> names;
+      for (const auto& c : plan->columns()) names.push_back(c.name);
+      return names;
+    }
+    case K::kExtend: {
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              OutputNames(plan->child(0), env));
+      for (const auto& c : plan->columns()) names.push_back(c.name);
+      return names;
+    }
+    case K::kJoin: {
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              OutputNames(plan->child(0), env));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> right,
+                              OutputNames(plan->child(1), env));
+      for (const auto& r : right) {
+        std::string name = r;
+        while (std::find(names.begin(), names.end(), name) != names.end()) {
+          name += "__r";
+        }
+        names.push_back(name);
+      }
+      return names;
+    }
+    case K::kUnnest: {
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              OutputNames(plan->child(0), env));
+      std::vector<std::string> out;
+      if (plan->outer() && !plan->unnest_id_attr().empty()) {
+        out.push_back(plan->unnest_id_attr());
+      }
+      for (const auto& n : names) {
+        if (n != plan->bag_col()) out.push_back(n);
+      }
+      // Inner attribute names require the bag column's element type, which
+      // plans do not carry; lowering knows them. Report a placeholder that
+      // pruning treats as opaque.
+      out.push_back(plan->alias() + ".*");
+      return out;
+    }
+    case K::kAddIndex: {
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              OutputNames(plan->child(0), env));
+      names.push_back(plan->id_attr());
+      return names;
+    }
+    case K::kNest: {
+      std::vector<std::string> names = plan->keys();
+      if (plan->agg() == NestAgg::kSum) {
+        for (const auto& v : plan->values()) names.push_back(v);
+      } else {
+        names.push_back(plan->out_attr());
+      }
+      return names;
+    }
+    case K::kCoGroup: {
+      TRANCE_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              OutputNames(plan->child(0), env));
+      names.push_back(plan->out_attr());
+      return names;
+    }
+  }
+  return Status::Internal("unhandled plan kind in OutputNames");
+}
+
+namespace {
+
+using Needed = std::optional<std::set<std::string>>;  // nullopt = everything
+
+bool IsNeeded(const Needed& needed, const std::string& col) {
+  return !needed.has_value() || needed->count(col) > 0;
+}
+
+/// Column-pruning rewrite: keeps only columns some ancestor consumes.
+/// Pruning points: Project/Extend nodes (every generated scan sits under a
+/// renaming Project) and join outputs, which are narrowed with an explicit
+/// Project so dead columns do not ride through subsequent shuffles.
+StatusOr<PlanPtr> Prune(const PlanPtr& plan, const Needed& needed,
+                        const nrc::TypeEnv& env) {
+  using K = PlanNode::Kind;
+  switch (plan->kind()) {
+    case K::kScan:
+      return plan;
+    case K::kProject: {
+      std::vector<NamedColumnExpr> cols;
+      std::set<std::string> child_needed;
+      for (const auto& c : plan->columns()) {
+        if (!IsNeeded(needed, c.name)) continue;
+        cols.push_back(c);
+        ExprColumnRefs(c.expr, &child_needed);
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), Needed(child_needed), env));
+      return PlanNode::Project(child, std::move(cols));
+    }
+    case K::kExtend: {
+      std::vector<NamedColumnExpr> cols;
+      Needed child_needed = needed;
+      for (const auto& c : plan->columns()) {
+        if (!IsNeeded(needed, c.name)) continue;
+        cols.push_back(c);
+        if (child_needed.has_value()) {
+          child_needed->erase(c.name);
+          ExprColumnRefs(c.expr, &*child_needed);
+        }
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), child_needed, env));
+      if (cols.empty()) return child;
+      return PlanNode::Extend(child, std::move(cols));
+    }
+    case K::kSelect:
+    case K::kOuterSelect: {
+      Needed child_needed = needed;
+      if (child_needed.has_value()) {
+        ExprColumnRefs(plan->cond(), &*child_needed);
+        if (plan->kind() == K::kOuterSelect) {
+          for (const auto& c : plan->keep_cols()) child_needed->insert(c);
+        }
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), child_needed, env));
+      if (plan->kind() == K::kOuterSelect) {
+        return PlanNode::OuterSelect(child, plan->cond(), plan->keep_cols());
+      }
+      return PlanNode::Select(child, plan->cond());
+    }
+    case K::kJoin: {
+      Needed child_needed = needed;
+      if (child_needed.has_value()) {
+        for (const auto& k : plan->left_keys()) child_needed->insert(k);
+        for (const auto& k : plan->right_keys()) child_needed->insert(k);
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr l, Prune(plan->child(0), child_needed, env));
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr r, Prune(plan->child(1), child_needed, env));
+      PlanPtr join = PlanNode::Join(l, r, plan->left_keys(),
+                                    plan->right_keys(), plan->outer());
+      // Narrow the join output so dead columns do not ride through later
+      // shuffles (labels and carried attributes of finished levels).
+      if (needed.has_value()) {
+        auto names_or = OutputNames(join, env);
+        if (names_or.ok()) {
+          std::vector<NamedColumnExpr> cols;
+          bool narrowed = false;
+          for (const auto& n : *names_or) {
+            if (needed->count(n)) {
+              cols.push_back({n, Expr::Var(n)});
+            } else if (n.size() > 2 && n.substr(n.size() - 2) == ".*") {
+              return join;  // opaque unnest outputs: skip narrowing
+            } else {
+              narrowed = true;
+            }
+          }
+          if (narrowed && !cols.empty()) {
+            return PlanNode::Project(join, std::move(cols));
+          }
+        }
+      }
+      return join;
+    }
+    case K::kUnnest: {
+      Needed child_needed = needed;
+      if (child_needed.has_value()) {
+        // Inner columns "<alias>.<attr>" come from the bag; strip them and
+        // require the bag column itself.
+        std::set<std::string> filtered;
+        for (const auto& c : *child_needed) {
+          if (c.rfind(plan->alias() + ".", 0) != 0 && c != plan->alias()) {
+            filtered.insert(c);
+          }
+        }
+        filtered.insert(plan->bag_col());
+        child_needed = std::move(filtered);
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), child_needed, env));
+      return PlanNode::Unnest(child, plan->bag_col(), plan->alias(),
+                              plan->outer(), plan->unnest_id_attr());
+    }
+    case K::kAddIndex: {
+      Needed child_needed = needed;
+      if (child_needed.has_value()) child_needed->erase(plan->id_attr());
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), child_needed, env));
+      return PlanNode::AddIndex(child, plan->id_attr());
+    }
+    case K::kNest: {
+      std::set<std::string> child_needed;
+      for (const auto& k : plan->keys()) child_needed.insert(k);
+      for (const auto& v : plan->values()) child_needed.insert(v);
+      if (!plan->nest_indicator().empty()) {
+        child_needed.insert(plan->nest_indicator());
+      }
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child,
+                              Prune(plan->child(0), Needed(child_needed), env));
+      return PlanNode::Nest(child, plan->agg(), plan->keys(), plan->values(),
+                            plan->value_names(), plan->out_attr(),
+                            plan->nest_indicator());
+    }
+    case K::kDedup: {
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child, Prune(plan->child(0), needed, env));
+      return PlanNode::Dedup(child);
+    }
+    case K::kUnionAll: {
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr a, Prune(plan->child(0), needed, env));
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr b, Prune(plan->child(1), needed, env));
+      return PlanNode::UnionAll(a, b);
+    }
+    case K::kCoGroup: {
+      Needed child_needed = needed;
+      if (child_needed.has_value()) {
+        child_needed->erase(plan->out_attr());
+        for (const auto& k : plan->left_keys()) child_needed->insert(k);
+      }
+      std::set<std::string> right_needed;
+      for (const auto& k : plan->right_keys()) right_needed.insert(k);
+      for (const auto& v : plan->values()) right_needed.insert(v);
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr l, Prune(plan->child(0), child_needed, env));
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr r,
+                              Prune(plan->child(1), Needed(right_needed), env));
+      return PlanNode::CoGroup(l, r, plan->left_keys(), plan->right_keys(),
+                               plan->values(), plan->value_names(),
+                               plan->out_attr());
+    }
+    case K::kBagToDict: {
+      TRANCE_ASSIGN_OR_RETURN(PlanPtr child, Prune(plan->child(0), needed, env));
+      return PlanNode::BagToDict(child, plan->label_col());
+    }
+  }
+  return Status::Internal("unhandled plan kind in Prune");
+}
+
+/// Join+nest -> cogroup fusion: Gamma-union directly over a left outer join
+/// whose value columns all come from the join's right side and whose keys all
+/// come from the left side collapses into one cogroup, avoiding the
+/// materialized flat join result.
+StatusOr<PlanPtr> FuseCoGroups(const PlanPtr& plan, const nrc::TypeEnv& env) {
+  using K = PlanNode::Kind;
+  // Rewrite children first.
+  std::vector<PlanPtr> kids;
+  for (size_t i = 0; i < plan->num_children(); ++i) {
+    TRANCE_ASSIGN_OR_RETURN(PlanPtr k, FuseCoGroups(plan->child(i), env));
+    kids.push_back(k);
+  }
+  auto rebuild = [&]() -> PlanPtr {
+    switch (plan->kind()) {
+      case K::kSelect:
+        return PlanNode::Select(kids[0], plan->cond());
+      case K::kOuterSelect:
+        return PlanNode::OuterSelect(kids[0], plan->cond(),
+                                     plan->keep_cols());
+      case K::kProject:
+        return PlanNode::Project(kids[0], plan->columns());
+      case K::kExtend:
+        return PlanNode::Extend(kids[0], plan->columns());
+      case K::kJoin:
+        return PlanNode::Join(kids[0], kids[1], plan->left_keys(),
+                              plan->right_keys(), plan->outer());
+      case K::kUnnest:
+        return PlanNode::Unnest(kids[0], plan->bag_col(), plan->alias(),
+                                plan->outer(), plan->unnest_id_attr());
+      case K::kAddIndex:
+        return PlanNode::AddIndex(kids[0], plan->id_attr());
+      case K::kNest:
+        return PlanNode::Nest(kids[0], plan->agg(), plan->keys(),
+                              plan->values(), plan->value_names(),
+                              plan->out_attr(), plan->nest_indicator());
+      case K::kDedup:
+        return PlanNode::Dedup(kids[0]);
+      case K::kUnionAll:
+        return PlanNode::UnionAll(kids[0], kids[1]);
+      case K::kCoGroup:
+        return PlanNode::CoGroup(kids[0], kids[1], plan->left_keys(),
+                                 plan->right_keys(), plan->values(),
+                                 plan->value_names(), plan->out_attr());
+      case K::kBagToDict:
+        return PlanNode::BagToDict(kids[0], plan->label_col());
+      case K::kScan:
+        return plan;
+    }
+    return plan;
+  };
+
+  if (plan->kind() != K::kNest || plan->agg() != NestAgg::kBagUnion ||
+      kids[0]->kind() != K::kJoin || !kids[0]->outer()) {
+    return rebuild();
+  }
+  const PlanPtr& join = kids[0];
+  // Soundness: a cogroup emits one row per *left row*, a Gamma one row per
+  // *key group*. They only coincide when the join's left rows are unique on
+  // the grouping keys — guaranteed when the left side just attached a unique
+  // id that is part of the keys.
+  if (join->child(0)->kind() != K::kAddIndex ||
+      std::find(plan->keys().begin(), plan->keys().end(),
+                join->child(0)->id_attr()) == plan->keys().end()) {
+    return rebuild();
+  }
+  auto left_names_or = OutputNames(join->child(0), env);
+  auto right_names_or = OutputNames(join->child(1), env);
+  if (!left_names_or.ok() || !right_names_or.ok()) return rebuild();
+  std::set<std::string> left_names(left_names_or->begin(),
+                                   left_names_or->end());
+  std::set<std::string> right_names(right_names_or->begin(),
+                                    right_names_or->end());
+  for (const auto& v : plan->values()) {
+    if (right_names.count(v) == 0) return rebuild();
+  }
+  for (const auto& k : plan->keys()) {
+    if (left_names.count(k) == 0) return rebuild();
+  }
+  // The cogroup keeps all left columns; a narrowing Project restores the
+  // Gamma's exact output (keys + bag).
+  PlanPtr cg = PlanNode::CoGroup(join->child(0), join->child(1),
+                                 join->left_keys(), join->right_keys(),
+                                 plan->values(), plan->value_names(),
+                                 plan->out_attr());
+  std::vector<NamedColumnExpr> cols;
+  for (const auto& k : plan->keys()) cols.push_back({k, Expr::Var(k)});
+  cols.push_back({plan->out_attr(), Expr::Var(plan->out_attr())});
+  return PlanNode::Project(cg, std::move(cols));
+}
+
+
+/// Aggregation pushdown past joins (applied bottom-up). Matches
+///   Nest+[K; V] over (optional Extend[V := a*b or V := a]) over Join(l, r)
+/// where `a` comes from the left side, `b` (if any) from the right, every
+/// group key comes from one side, and the join keys are left columns. Since
+/// all rows of a (K_left, join-key) group match the same right rows, the sum
+/// distributes: partial-sum `a` on the left grouped by {K_left, lk}, join,
+/// recompute V, and keep the final Nest+ to combine.
+StatusOr<PlanPtr> PushAggPastJoin(const PlanPtr& plan,
+                                  const nrc::TypeEnv& env) {
+  using K = PlanNode::Kind;
+  std::vector<PlanPtr> kids;
+  for (size_t i = 0; i < plan->num_children(); ++i) {
+    TRANCE_ASSIGN_OR_RETURN(PlanPtr k, PushAggPastJoin(plan->child(i), env));
+    kids.push_back(k);
+  }
+  auto rebuild = [&]() -> PlanPtr {
+    if (kids.empty()) return plan;
+    switch (plan->kind()) {
+      case K::kSelect:
+        return PlanNode::Select(kids[0], plan->cond());
+      case K::kOuterSelect:
+        return PlanNode::OuterSelect(kids[0], plan->cond(),
+                                     plan->keep_cols());
+      case K::kProject:
+        return PlanNode::Project(kids[0], plan->columns());
+      case K::kExtend:
+        return PlanNode::Extend(kids[0], plan->columns());
+      case K::kJoin:
+        return PlanNode::Join(kids[0], kids[1], plan->left_keys(),
+                              plan->right_keys(), plan->outer());
+      case K::kUnnest:
+        return PlanNode::Unnest(kids[0], plan->bag_col(), plan->alias(),
+                                plan->outer(), plan->unnest_id_attr());
+      case K::kAddIndex:
+        return PlanNode::AddIndex(kids[0], plan->id_attr());
+      case K::kNest:
+        return PlanNode::Nest(kids[0], plan->agg(), plan->keys(),
+                              plan->values(), plan->value_names(),
+                              plan->out_attr(), plan->nest_indicator());
+      case K::kDedup:
+        return PlanNode::Dedup(kids[0]);
+      case K::kUnionAll:
+        return PlanNode::UnionAll(kids[0], kids[1]);
+      case K::kCoGroup:
+        return PlanNode::CoGroup(kids[0], kids[1], plan->left_keys(),
+                                 plan->right_keys(), plan->values(),
+                                 plan->value_names(), plan->out_attr());
+      case K::kBagToDict:
+        return PlanNode::BagToDict(kids[0], plan->label_col());
+      case K::kScan:
+        return plan;
+    }
+    return plan;
+  };
+
+  if (plan->kind() != K::kNest || plan->agg() != NestAgg::kSum ||
+      plan->values().size() != 1) {
+    return rebuild();
+  }
+  // Peel an optional single-column Extend computing the summed value.
+  PlanPtr below = kids.empty() ? plan->child(0) : kids[0];
+  ExprPtr value_expr = Expr::Var(plan->values()[0]);
+  PlanPtr join = below;
+  std::vector<NamedColumnExpr> extend_cols;
+  if (below->kind() == K::kExtend) {
+    bool defines = false;
+    for (const auto& c : below->columns()) {
+      if (c.name == plan->values()[0]) {
+        defines = true;
+        value_expr = c.expr;
+      }
+    }
+    if (!defines || below->columns().size() != 1) return rebuild();
+    extend_cols = below->columns();
+    join = below->child(0);
+  }
+  if (join->kind() != K::kJoin) return rebuild();
+
+  auto left_names_or = OutputNames(join->child(0), env);
+  auto right_names_or = OutputNames(join->child(1), env);
+  if (!left_names_or.ok() || !right_names_or.ok()) return rebuild();
+  std::set<std::string> left_names(left_names_or->begin(),
+                                   left_names_or->end());
+  std::set<std::string> right_names(right_names_or->begin(),
+                                    right_names_or->end());
+  for (const auto& n : *left_names_or) {
+    if (n.size() > 2 && n.substr(n.size() - 2) == ".*") return rebuild();
+  }
+
+  // The summed value: a left column, or left-column * right-column.
+  std::string left_factor;
+  bool direct = false;
+  if (value_expr->kind() == nrc::Expr::Kind::kVarRef &&
+      left_names.count(value_expr->var_name())) {
+    left_factor = value_expr->var_name();
+    direct = true;
+  } else if (value_expr->kind() == nrc::Expr::Kind::kPrimOp &&
+             value_expr->prim_op() == nrc::PrimOpKind::kMul) {
+    const ExprPtr& a = value_expr->child(0);
+    const ExprPtr& b = value_expr->child(1);
+    if (a->kind() == nrc::Expr::Kind::kVarRef &&
+        b->kind() == nrc::Expr::Kind::kVarRef &&
+        left_names.count(a->var_name()) &&
+        right_names.count(b->var_name())) {
+      left_factor = a->var_name();
+    }
+  }
+  if (left_factor.empty()) return rebuild();
+  // Join keys must be plain left columns; group keys split cleanly.
+  for (const auto& k : join->left_keys()) {
+    if (!left_names.count(k)) return rebuild();
+  }
+  std::vector<std::string> partial_keys;
+  for (const auto& k : plan->keys()) {
+    if (left_names.count(k)) {
+      partial_keys.push_back(k);
+    } else if (!right_names.count(k)) {
+      return rebuild();
+    }
+  }
+  for (const auto& k : join->left_keys()) {
+    if (std::find(partial_keys.begin(), partial_keys.end(), k) ==
+        partial_keys.end()) {
+      partial_keys.push_back(k);
+    }
+  }
+
+  PlanPtr partial = PlanNode::Nest(join->child(0), NestAgg::kSum,
+                                   partial_keys, {left_factor},
+                                   {left_factor}, "");
+  PlanPtr new_join =
+      PlanNode::Join(partial, join->child(1), join->left_keys(),
+                     join->right_keys(), join->outer());
+  PlanPtr top = new_join;
+  if (!extend_cols.empty()) top = PlanNode::Extend(top, extend_cols);
+  return PlanNode::Nest(top, NestAgg::kSum, plan->keys(), plan->values(),
+                        plan->value_names(), plan->out_attr(),
+                        plan->nest_indicator());
+  (void)direct;
+}
+
+}  // namespace
+
+StatusOr<PlanPtr> Optimize(const PlanPtr& plan, const nrc::TypeEnv& env,
+                           const OptimizerOptions& options) {
+  PlanPtr p = plan;
+  if (options.enable_agg_pushdown) {
+    TRANCE_ASSIGN_OR_RETURN(p, PushAggPastJoin(p, env));
+  }
+  if (options.enable_cogroup) {
+    TRANCE_ASSIGN_OR_RETURN(p, FuseCoGroups(p, env));
+  }
+  if (options.enable_column_pruning) {
+    TRANCE_ASSIGN_OR_RETURN(p, Prune(p, std::nullopt, env));
+  }
+  return p;
+}
+
+StatusOr<PlanProgram> OptimizeProgram(const PlanProgram& program,
+                                      const nrc::TypeEnv& env,
+                                      const OptimizerOptions& options) {
+  PlanProgram out;
+  out.inputs = program.inputs;
+  for (const auto& a : program.assignments) {
+    TRANCE_ASSIGN_OR_RETURN(PlanPtr p, Optimize(a.plan, env, options));
+    out.assignments.push_back({a.var, p});
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace trance

@@ -1,0 +1,50 @@
+// Plan optimizations (Section 3, "Optimization"): column pruning via
+// projection pushdown, selection pushdown, and the join+nest -> cogroup
+// fusion applied when building nested objects from large input bags.
+// Aggregation pushdown past joins is applied by the lowering when enabled
+// (it needs runtime schemas).
+#ifndef TRANCE_PLAN_OPTIMIZER_H_
+#define TRANCE_PLAN_OPTIMIZER_H_
+
+#include "nrc/typecheck.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace trance {
+namespace plan {
+
+struct OptimizerOptions {
+  /// Fuse Gamma-union directly over a left outer join into a cogroup. The
+  /// SparkSQL competitor mode disables this (Section 6: "SparkSQL does not
+  /// perform the cogroup optimization").
+  bool enable_cogroup = true;
+  /// Prune columns that no ancestor operator consumes.
+  bool enable_column_pruning = true;
+  /// Push Gamma-plus past joins: partial-sum the left factor grouped by
+  /// {group keys from the left, join keys} before the join (Section 3's
+  /// "push the sum aggregate past the join to compute partial sums of qty
+  /// values ... grouped by {copID, coID, cname, odate, pid}"). Off by
+  /// default; Section 6 enables it for the skew-unaware strategies, where
+  /// collapsing duplicated heavy values diminishes skew.
+  bool enable_agg_pushdown = false;
+};
+
+/// Column names produced by a plan, given the types of scanned relations.
+/// Mirrors the lowering's naming rules (join collisions suffixed "__r").
+StatusOr<std::vector<std::string>> OutputNames(const PlanPtr& plan,
+                                               const nrc::TypeEnv& env);
+
+/// Rewrites `plan` under the given options. Semantics-preserving.
+StatusOr<PlanPtr> Optimize(const PlanPtr& plan, const nrc::TypeEnv& env,
+                           const OptimizerOptions& options);
+
+/// Optimizes every assignment of a program (later assignments see earlier
+/// ones' types).
+StatusOr<PlanProgram> OptimizeProgram(const PlanProgram& program,
+                                      const nrc::TypeEnv& env,
+                                      const OptimizerOptions& options);
+
+}  // namespace plan
+}  // namespace trance
+
+#endif  // TRANCE_PLAN_OPTIMIZER_H_

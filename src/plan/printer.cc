@@ -1,0 +1,92 @@
+#include "plan/printer.h"
+
+#include <sstream>
+
+#include "nrc/printer.h"
+#include "util/strings.h"
+
+namespace trance {
+namespace plan {
+
+namespace {
+
+void Print(const PlanPtr& p, int depth, std::ostringstream* os) {
+  std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  *os << pad;
+  switch (p->kind()) {
+    case PlanNode::Kind::kScan:
+      *os << "Scan(" << p->relation() << ")\n";
+      return;
+    case PlanNode::Kind::kSelect:
+      *os << "Select[" << nrc::PrintExpr(p->cond()) << "]\n";
+      break;
+    case PlanNode::Kind::kOuterSelect:
+      *os << "OuterSelect[" << nrc::PrintExpr(p->cond()) << " keep "
+          << Join(p->keep_cols(), ",") << "]\n";
+      break;
+    case PlanNode::Kind::kProject:
+    case PlanNode::Kind::kExtend: {
+      std::vector<std::string> parts;
+      for (const auto& c : p->columns()) {
+        parts.push_back(c.name + " := " + nrc::PrintExpr(c.expr));
+      }
+      *os << (p->kind() == PlanNode::Kind::kProject ? "Project[" : "Extend[")
+          << Join(parts, ", ") << "]\n";
+      break;
+    }
+    case PlanNode::Kind::kJoin:
+      *os << (p->outer() ? "OuterJoin[" : "Join[")
+          << Join(p->left_keys(), ",") << " = " << Join(p->right_keys(), ",")
+          << "]\n";
+      break;
+    case PlanNode::Kind::kUnnest:
+      *os << (p->outer() ? "OuterUnnest[" : "Unnest[") << p->bag_col()
+          << " as " << p->alias() << "]\n";
+      break;
+    case PlanNode::Kind::kAddIndex:
+      *os << "AddIndex[" << p->id_attr() << "]\n";
+      break;
+    case PlanNode::Kind::kNest:
+      *os << (p->agg() == NestAgg::kSum ? "Nest+[" : "NestU[")
+          << Join(p->keys(), ",") << " ; " << Join(p->values(), ",");
+      if (p->agg() == NestAgg::kBagUnion) *os << " -> " << p->out_attr();
+      *os << "]\n";
+      break;
+    case PlanNode::Kind::kDedup:
+      *os << "Dedup\n";
+      break;
+    case PlanNode::Kind::kUnionAll:
+      *os << "UnionAll\n";
+      break;
+    case PlanNode::Kind::kCoGroup:
+      *os << "CoGroup[" << Join(p->left_keys(), ",") << " = "
+          << Join(p->right_keys(), ",") << " ; " << Join(p->values(), ",")
+          << " -> " << p->out_attr() << "]\n";
+      break;
+    case PlanNode::Kind::kBagToDict:
+      *os << "BagToDict[" << p->label_col() << "]\n";
+      break;
+  }
+  for (size_t i = 0; i < p->num_children(); ++i) {
+    Print(p->child(i), depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PlanPtr& plan) {
+  std::ostringstream os;
+  Print(plan, 0, &os);
+  return os.str();
+}
+
+std::string PrintPlanProgram(const PlanProgram& program) {
+  std::ostringstream os;
+  for (const auto& a : program.assignments) {
+    os << a.var << " <=\n" << PrintPlan(a.plan) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace plan
+}  // namespace trance

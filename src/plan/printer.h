@@ -1,0 +1,19 @@
+// Rendering of algebraic plans for debugging and tests (operator tree with
+// the paper's sigma/pi/join/mu/Gamma vocabulary).
+#ifndef TRANCE_PLAN_PRINTER_H_
+#define TRANCE_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace trance {
+namespace plan {
+
+std::string PrintPlan(const PlanPtr& plan);
+std::string PrintPlanProgram(const PlanProgram& program);
+
+}  // namespace plan
+}  // namespace trance
+
+#endif  // TRANCE_PLAN_PRINTER_H_

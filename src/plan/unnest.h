@@ -1,0 +1,65 @@
+// The unnesting stage (Section 3): translates NRC programs into algebraic
+// plans in the style of Fegaras–Maier.
+//
+// The algorithm walks a query from the outermost level inward, building one
+// linear operator pipeline:
+//  - comprehension generators over input relations become scans / equi-joins
+//    (join conditions are detected from if-equality filters, as in "detects
+//    joins written as nested loops with equality conditions");
+//  - generators over bag-valued attributes become unnest operators;
+//  - entering a nesting level (a bag-valued attribute inside a tuple
+//    constructor) switches to the *outer* variants of join and unnest,
+//    attaches a unique id to the outer tuples, and expands the grouping set
+//    G with that id and the level's scalar output attributes;
+//  - sumBy / groupBy become Gamma-plus / Gamma-union with G-prefixed keys;
+//  - on the way out of each level, a Gamma-union regroups the level's output
+//    into its bag attribute.
+//
+// Column naming: a comprehension variable x bound to a tuple surfaces as
+// columns "x.<attr>"; level-local computed attributes as "_lvlK.<attr>";
+// unique ids as "_uidK".
+//
+// Supported query class: the NRC fragment used by the paper's benchmarks
+// (arbitrary nesting depth, joins, sumBy/groupBy/dedup at any level, at most
+// one bag-valued attribute per tuple constructor, filters at non-root levels
+// only as join equalities). Everything else returns NotImplemented — the
+// interpreter still covers full NRC.
+#ifndef TRANCE_PLAN_UNNEST_H_
+#define TRANCE_PLAN_UNNEST_H_
+
+#include <map>
+#include <string>
+
+#include "nrc/expr.h"
+#include "nrc/typecheck.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace trance {
+namespace plan {
+
+class Unnester {
+ public:
+  /// `env` types the free input relations (and is extended per assignment
+  /// when compiling programs).
+  explicit Unnester(nrc::TypeEnv env) : env_(std::move(env)) {}
+
+  /// Compiles one bag-valued query into a plan whose output columns are the
+  /// query's top-level attribute names.
+  StatusOr<PlanPtr> Compile(const nrc::ExprPtr& query);
+
+  /// Compiles every assignment of a program.
+  StatusOr<PlanProgram> CompileProgram(const nrc::Program& program);
+
+ private:
+  struct Ctx;  // defined in unnest.cc
+  nrc::TypeEnv env_;
+  int uid_counter_ = 0;
+  int lvl_counter_ = 0;
+  int tmp_counter_ = 0;
+};
+
+}  // namespace plan
+}  // namespace trance
+
+#endif  // TRANCE_PLAN_UNNEST_H_

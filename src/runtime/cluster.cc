@@ -1,0 +1,31 @@
+#include "runtime/cluster.h"
+
+#include "util/strings.h"
+
+namespace trance {
+namespace runtime {
+
+void Cluster::RecordStage(StageStats s) {
+  s.sim_seconds =
+      config_.stage_overhead_seconds +
+      static_cast<double>(s.max_partition_work_bytes) *
+          config_.seconds_per_cpu_byte +
+      static_cast<double>(s.max_partition_recv_bytes) *
+          config_.seconds_per_net_byte;
+  stats_.AddStage(std::move(s));
+}
+
+Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
+  for (uint64_t b : ds.PartitionBytes()) {
+    stats_.NotePeakPartitionBytes(b);
+    if (b > config_.partition_memory_cap) {
+      return Status::ResourceExhausted(
+          "worker memory saturated in " + op + ": partition holds " +
+          FormatBytes(b) + " > cap " + FormatBytes(config_.partition_memory_cap));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace runtime
+}  // namespace trance

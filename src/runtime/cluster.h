@@ -1,0 +1,75 @@
+// The simulated cluster: worker/partition configuration, cost model, memory
+// caps, and statistics collection. Stands in for the paper's 5-node Spark 2.4
+// cluster (see DESIGN.md substitution table).
+#ifndef TRANCE_RUNTIME_CLUSTER_H_
+#define TRANCE_RUNTIME_CLUSTER_H_
+
+#include <string>
+
+#include "runtime/dataset.h"
+#include "runtime/stats.h"
+#include "util/status.h"
+
+namespace trance {
+namespace runtime {
+
+struct ClusterConfig {
+  /// Number of partitions ("1000 partitions used for shuffling data" in the
+  /// paper; scaled down with the data).
+  int num_partitions = 16;
+  /// Per-partition memory cap; exceeding it is the paper's FAIL ("crashed due
+  /// to memory saturation of a node").
+  uint64_t partition_memory_cap = 256ull << 20;
+  /// Collections smaller than this may be broadcast (paper: Spark broadcasts
+  /// anything under 10MB).
+  uint64_t broadcast_threshold = 10ull << 20;
+  /// Cost model: synchronous stages, straggler-bound.
+  double seconds_per_cpu_byte = 2e-9;   // ~500 MB/s scan+build per worker
+  double seconds_per_net_byte = 8e-9;   // ~125 MB/s shuffle bandwidth
+  double stage_overhead_seconds = 0.05;  // scheduling + barrier overhead
+  /// Skew sampling (Section 5): fraction of tuples sampled per partition and
+  /// the frequency threshold above which a key is heavy (2.5% => at most 40
+  /// distinct heavy keys per partition).
+  double skew_sample_rate = 0.1;
+  double heavy_key_threshold = 0.025;
+  uint64_t seed = 42;
+};
+
+/// Cluster state: configuration + per-job statistics. Not thread-safe; one
+/// Cluster per executing query.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config) : config_(config) {
+    TRANCE_CHECK(config_.num_partitions > 0, "cluster without partitions");
+  }
+  Cluster() : Cluster(ClusterConfig{}) {}
+
+  const ClusterConfig& config() const { return config_; }
+  JobStats& stats() { return stats_; }
+  const JobStats& stats() const { return stats_; }
+
+  int num_partitions() const { return config_.num_partitions; }
+
+  /// Records a finished stage, deriving its simulated time from the cost
+  /// model.
+  void RecordStage(StageStats s);
+
+  /// Fails with ResourceExhausted if any partition of `ds` exceeds the
+  /// per-partition memory cap.
+  Status CheckMemory(const Dataset& ds, const std::string& op);
+
+  /// Target partition of a key hash.
+  int PartitionOf(uint64_t key_hash) const {
+    return static_cast<int>(key_hash %
+                            static_cast<uint64_t>(config_.num_partitions));
+  }
+
+ private:
+  ClusterConfig config_;
+  JobStats stats_;
+};
+
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_CLUSTER_H_

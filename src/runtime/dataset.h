@@ -1,0 +1,76 @@
+// A Dataset is a partitioned distributed collection of rows, with the
+// partitioning guarantee tracked the way Section 3 describes Spark
+// partitioners: key-based (all rows with the same key on the same partition),
+// inherited / preserved / dropped / redefined by operators.
+#ifndef TRANCE_RUNTIME_DATASET_H_
+#define TRANCE_RUNTIME_DATASET_H_
+
+#include <vector>
+
+#include "runtime/field.h"
+#include "runtime/schema.h"
+
+namespace trance {
+namespace runtime {
+
+/// Partitioning guarantee of a dataset.
+struct Partitioning {
+  enum class Kind {
+    kNone,  // no guarantee (fresh input or guarantee-dropping operator)
+    kHash,  // hash-partitioned on `key_cols`
+  };
+  Kind kind = Kind::kNone;
+  std::vector<int> key_cols;
+
+  static Partitioning None() { return {}; }
+  static Partitioning Hash(std::vector<int> cols) {
+    return {Kind::kHash, std::move(cols)};
+  }
+  bool IsHashOn(const std::vector<int>& cols) const {
+    return kind == Kind::kHash && key_cols == cols;
+  }
+};
+
+struct Dataset {
+  Schema schema;
+  std::vector<std::vector<Row>> partitions;
+  Partitioning partitioning;
+
+  size_t NumRows() const {
+    size_t n = 0;
+    for (const auto& p : partitions) n += p.size();
+    return n;
+  }
+  uint64_t DeepSizeBytes() const {
+    uint64_t s = 0;
+    for (const auto& p : partitions) {
+      for (const auto& r : p) s += RowDeepSize(r);
+    }
+    return s;
+  }
+  /// Byte footprint of each partition.
+  std::vector<uint64_t> PartitionBytes() const {
+    std::vector<uint64_t> out;
+    out.reserve(partitions.size());
+    for (const auto& p : partitions) {
+      uint64_t s = 0;
+      for (const auto& r : p) s += RowDeepSize(r);
+      out.push_back(s);
+    }
+    return out;
+  }
+  /// All rows gathered into one vector (tests / result collection).
+  std::vector<Row> Collect() const {
+    std::vector<Row> out;
+    out.reserve(NumRows());
+    for (const auto& p : partitions) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+};
+
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_DATASET_H_

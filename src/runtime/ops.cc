@@ -1,0 +1,837 @@
+#include "runtime/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace trance {
+namespace runtime {
+
+namespace {
+
+/// Accumulates per-partition processed bytes and finalizes max/total.
+class WorkMeter {
+ public:
+  explicit WorkMeter(size_t parts) : work_(parts, 0) {}
+  void Add(size_t p, uint64_t bytes) { work_[p] += bytes; }
+  void Finalize(StageStats* s) const {
+    for (uint64_t w : work_) {
+      s->total_work_bytes += w;
+      if (w > s->max_partition_work_bytes) s->max_partition_work_bytes = w;
+    }
+  }
+
+ private:
+  std::vector<uint64_t> work_;
+};
+
+uint64_t PartBytes(const std::vector<Row>& rows) {
+  uint64_t s = 0;
+  for (const auto& r : rows) s += RowDeepSize(r);
+  return s;
+}
+
+/// Hash-shuffles `in` to num_partitions buckets keyed on key_cols, recording
+/// exact cross-partition movement into `stage`. If the input already carries
+/// the matching guarantee, rows stay in place (and, by hashing consistency,
+/// would anyway).
+std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
+                                           const std::vector<int>& key_cols,
+                                           StageStats* stage) {
+  const int n = cluster->num_partitions();
+  std::vector<std::vector<Row>> out(static_cast<size_t>(n));
+  std::vector<uint64_t> recv(static_cast<size_t>(n), 0);
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    for (const auto& row : in.partitions[p]) {
+      int target = cluster->PartitionOf(RowHashOn(row, key_cols));
+      if (static_cast<size_t>(target) != p) {
+        uint64_t b = RowDeepSize(row);
+        stage->shuffle_bytes += b;
+        recv[static_cast<size_t>(target)] += b;
+      }
+      out[static_cast<size_t>(target)].push_back(row);
+    }
+  }
+  for (uint64_t b : recv) {
+    if (b > stage->max_partition_recv_bytes) {
+      stage->max_partition_recv_bytes = b;
+    }
+  }
+  return out;
+}
+
+/// Output schema of a join: left columns then right columns, right-side
+/// collisions suffixed "__r".
+Schema JoinSchema(const Schema& l, const Schema& r) {
+  Schema out = l;
+  for (const auto& c : r.columns()) {
+    std::string name = c.name;
+    while (out.IndexOf(name) >= 0) name += "__r";
+    out.Append({name, c.type});
+  }
+  return out;
+}
+
+Row ConcatRows(const Row& l, const Row& r) {
+  Row out;
+  out.fields.reserve(l.fields.size() + r.fields.size());
+  out.fields = l.fields;
+  out.fields.insert(out.fields.end(), r.fields.begin(), r.fields.end());
+  return out;
+}
+
+Row NullPadRight(const Row& l, size_t right_width) {
+  Row out;
+  out.fields.reserve(l.fields.size() + right_width);
+  out.fields = l.fields;
+  for (size_t i = 0; i < right_width; ++i) out.fields.push_back(Field::Null());
+  return out;
+}
+
+bool HasNullKey(const Row& r, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (r.fields[static_cast<size_t>(c)].is_null()) return true;
+  }
+  return false;
+}
+
+/// Partition-local hash join of two row lists. `right_width` is the right
+/// schema's width (an empty right partition must still NULL-pad fully).
+void LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
+               const std::vector<int>& lk, const std::vector<int>& rk,
+               JoinType type, size_t right_width, std::vector<Row>* out) {
+  std::unordered_map<KeyView, std::vector<const Row*>, KeyViewHash, KeyViewEq>
+      built;
+  built.reserve(right.size());
+  for (const auto& r : right) {
+    if (HasNullKey(r, rk)) continue;
+    built[ExtractKey(r, rk)].push_back(&r);
+  }
+  for (const auto& l : left) {
+    bool matched = false;
+    if (!HasNullKey(l, lk)) {
+      auto it = built.find(ExtractKey(l, lk));
+      if (it != built.end()) {
+        matched = true;
+        for (const Row* r : it->second) out->push_back(ConcatRows(l, *r));
+      }
+    }
+    if (!matched && type == JoinType::kLeftOuter) {
+      out->push_back(NullPadRight(l, right_width));
+    }
+  }
+}
+
+Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
+                   const std::string& name) {
+  stage.rows_out = result->NumRows();
+  cluster->RecordStage(std::move(stage));
+  return cluster->CheckMemory(*result, name);
+}
+
+}  // namespace
+
+StatusOr<Dataset> Source(Cluster* cluster, Schema schema,
+                         std::vector<Row> rows, const std::string& name) {
+  const int n = cluster->num_partitions();
+  Dataset ds;
+  ds.schema = std::move(schema);
+  ds.partitions.resize(static_cast<size_t>(n));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ds.partitions[i % static_cast<size_t>(n)].push_back(std::move(rows[i]));
+  }
+  ds.partitioning = Partitioning::None();
+  // Inputs are pre-cached ("runtime starts after caching all inputs"): they
+  // are not charged against the per-partition memory cap.
+  StageStats stage;
+  stage.op = "source(" + name + ")";
+  stage.rows_in = ds.NumRows();
+  stage.rows_out = ds.NumRows();
+  cluster->RecordStage(std::move(stage));
+  return ds;
+}
+
+StatusOr<Dataset> SourcePartitioned(Cluster* cluster, Schema schema,
+                                    std::vector<Row> rows,
+                                    std::vector<int> key_cols,
+                                    const std::string& name) {
+  const int n = cluster->num_partitions();
+  Dataset ds;
+  ds.schema = std::move(schema);
+  ds.partitions.resize(static_cast<size_t>(n));
+  for (auto& row : rows) {
+    int target = cluster->PartitionOf(RowHashOn(row, key_cols));
+    ds.partitions[static_cast<size_t>(target)].push_back(std::move(row));
+  }
+  ds.partitioning = Partitioning::Hash(std::move(key_cols));
+  StageStats stage;
+  stage.op = "source_partitioned(" + name + ")";
+  stage.rows_in = ds.NumRows();
+  stage.rows_out = ds.NumRows();
+  cluster->RecordStage(std::move(stage));
+  return ds;
+}
+
+StatusOr<Dataset> MapRows(Cluster* cluster, const Dataset& in,
+                          Schema out_schema, const MapFn& fn,
+                          const std::string& name, bool preserves_partitioning,
+                          Partitioning out_partitioning) {
+  Dataset out;
+  out.schema = std::move(out_schema);
+  out.partitions.resize(in.partitions.size());
+  out.partitioning = preserves_partitioning ? in.partitioning
+                                            : out_partitioning;
+  StageStats stage;
+  stage.op = name;
+  WorkMeter work(in.partitions.size());
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    out.partitions[p].reserve(in.partitions[p].size());
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      Row mapped = fn(row);
+      work.Add(p, RowDeepSize(row) + RowDeepSize(mapped));
+      out.partitions[p].push_back(std::move(mapped));
+    }
+  }
+  work.Finalize(&stage);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> FilterRows(Cluster* cluster, const Dataset& in,
+                             const PredFn& pred, const std::string& name) {
+  Dataset out;
+  out.schema = in.schema;
+  out.partitions.resize(in.partitions.size());
+  out.partitioning = in.partitioning;
+  StageStats stage;
+  stage.op = name;
+  WorkMeter work(in.partitions.size());
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      work.Add(p, RowDeepSize(row));
+      if (pred(row)) out.partitions[p].push_back(row);
+    }
+  }
+  work.Finalize(&stage);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> FlatMapRows(Cluster* cluster, const Dataset& in,
+                              Schema out_schema, const FlatMapFn& fn,
+                              const std::string& name) {
+  Dataset out;
+  out.schema = std::move(out_schema);
+  out.partitions.resize(in.partitions.size());
+  out.partitioning = Partitioning::None();
+  StageStats stage;
+  stage.op = name;
+  WorkMeter work(in.partitions.size());
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      size_t before = out.partitions[p].size();
+      fn(row, &out.partitions[p]);
+      uint64_t produced = 0;
+      for (size_t i = before; i < out.partitions[p].size(); ++i) {
+        produced += RowDeepSize(out.partitions[p][i]);
+      }
+      work.Add(p, RowDeepSize(row) + produced);
+    }
+  }
+  work.Finalize(&stage);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> Repartition(Cluster* cluster, const Dataset& in,
+                              std::vector<int> key_cols,
+                              const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = in.NumRows();
+  Dataset out;
+  out.schema = in.schema;
+  if (in.partitioning.IsHashOn(key_cols)) {
+    out.partitions = in.partitions;  // guarantee already holds: no movement
+  } else {
+    out.partitions = ShuffleByKey(cluster, in, key_cols, &stage);
+  }
+  out.partitioning = Partitioning::Hash(std::move(key_cols));
+  WorkMeter work(out.partitions.size());
+  for (size_t p = 0; p < out.partitions.size(); ++p) {
+    work.Add(p, PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
+                           const Dataset& right, std::vector<int> left_keys,
+                           std::vector<int> right_keys, JoinType type,
+                           const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = left.NumRows() + right.NumRows();
+  std::vector<std::vector<Row>> lparts =
+      left.partitioning.IsHashOn(left_keys)
+          ? left.partitions
+          : ShuffleByKey(cluster, left, left_keys, &stage);
+  std::vector<std::vector<Row>> rparts =
+      right.partitioning.IsHashOn(right_keys)
+          ? right.partitions
+          : ShuffleByKey(cluster, right, right_keys, &stage);
+
+  Dataset out;
+  out.schema = JoinSchema(left.schema, right.schema);
+  out.partitions.resize(lparts.size());
+  WorkMeter work(lparts.size());
+  for (size_t p = 0; p < lparts.size(); ++p) {
+    LocalJoin(lparts[p], rparts[p], left_keys, right_keys, type,
+              right.schema.size(), &out.partitions[p]);
+    work.Add(p, PartBytes(lparts[p]) + PartBytes(rparts[p]) +
+                    PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::Hash(std::move(left_keys));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
+                                const Dataset& right,
+                                std::vector<int> left_keys,
+                                std::vector<int> right_keys, JoinType type,
+                                const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = left.NumRows() + right.NumRows();
+  // The broadcast replicates the right side to every partition.
+  std::vector<Row> bcast = right.Collect();
+  uint64_t bcast_bytes = 0;
+  for (const auto& r : bcast) bcast_bytes += RowDeepSize(r);
+  stage.shuffle_bytes +=
+      bcast_bytes * static_cast<uint64_t>(cluster->num_partitions());
+  stage.max_partition_recv_bytes =
+      std::max(stage.max_partition_recv_bytes, bcast_bytes);
+
+  Dataset out;
+  out.schema = JoinSchema(left.schema, right.schema);
+  out.partitions.resize(left.partitions.size());
+  WorkMeter work(left.partitions.size());
+  for (size_t p = 0; p < left.partitions.size(); ++p) {
+    LocalJoin(left.partitions[p], bcast, left_keys, right_keys, type,
+              right.schema.size(), &out.partitions[p]);
+    work.Add(p, PartBytes(left.partitions[p]) + bcast_bytes +
+                    PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  // Left rows did not move: the left guarantee (if any) is preserved.
+  out.partitioning = left.partitioning;
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
+                            std::vector<int> key_cols,
+                            std::vector<int> value_cols,
+                            const std::string& bag_col_name,
+                            const std::string& name,
+                            std::vector<int> indicator_cols) {
+  // Fallback miss rule: all non-bag value columns NULL.
+  std::vector<int> miss_cols = indicator_cols;
+  if (miss_cols.empty()) {
+    for (int c : value_cols) {
+      const auto& t = in.schema.col(static_cast<size_t>(c)).type;
+      if (t == nullptr || !t->is_bag()) miss_cols.push_back(c);
+    }
+  }
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = in.NumRows();
+  std::vector<std::vector<Row>> parts =
+      in.partitioning.IsHashOn(key_cols)
+          ? in.partitions
+          : ShuffleByKey(cluster, in, key_cols, &stage);
+
+  Schema out_schema;
+  for (int c : key_cols) {
+    out_schema.Append(in.schema.col(static_cast<size_t>(c)));
+  }
+  std::vector<nrc::Field> bag_fields;
+  for (int c : value_cols) {
+    const auto& col = in.schema.col(static_cast<size_t>(c));
+    bag_fields.push_back({col.name, col.type});
+  }
+  out_schema.Append(
+      {bag_col_name, nrc::Type::Bag(nrc::Type::Tuple(std::move(bag_fields)))});
+
+  Dataset out;
+  out.schema = out_schema;
+  out.partitions.resize(parts.size());
+  WorkMeter work(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
+    std::vector<std::pair<KeyView, std::vector<Row>>> groups;
+    for (const auto& row : parts[p]) {
+      KeyView k = ExtractKey(row, key_cols);
+      auto [it, inserted] = index.try_emplace(k, groups.size());
+      if (inserted) groups.emplace_back(k, std::vector<Row>{});
+      // NULL-to-empty-bag cast: a miss row marks a key with no inner
+      // elements (outer join/unnest miss); it creates the group only.
+      bool miss = !miss_cols.empty();
+      for (int c : miss_cols) {
+        if (!row.fields[static_cast<size_t>(c)].is_null()) {
+          miss = false;
+          break;
+        }
+      }
+      if (!miss) {
+        Row inner;
+        inner.fields.reserve(value_cols.size());
+        for (int c : value_cols) {
+          inner.fields.push_back(row.fields[static_cast<size_t>(c)]);
+        }
+        groups[it->second].second.push_back(std::move(inner));
+      }
+    }
+    for (auto& [k, members] : groups) {
+      Row row;
+      row.fields = k.fields;
+      row.fields.push_back(Field::Bag(std::move(members)));
+      out.partitions[p].push_back(std::move(row));
+    }
+    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::Hash(
+      [&] {
+        std::vector<int> cols;
+        for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
+          cols.push_back(i);
+        }
+        return cols;
+      }());
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> AddIndexColumn(Cluster* cluster, const Dataset& in,
+                                 const std::string& id_col_name,
+                                 const std::string& name) {
+  Dataset out;
+  out.schema = in.schema;
+  out.schema.Append({id_col_name, nrc::Type::Int()});
+  out.partitions.resize(in.partitions.size());
+  out.partitioning = in.partitioning;
+  StageStats stage;
+  stage.op = name;
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    int64_t idx = 0;
+    out.partitions[p].reserve(in.partitions[p].size());
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      Row r = row;
+      r.fields.push_back(
+          Field::Int((static_cast<int64_t>(p) << 40) | idx++));
+      out.partitions[p].push_back(std::move(r));
+    }
+  }
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
+                               std::vector<int> key_cols,
+                               std::vector<int> value_cols,
+                               bool map_side_combine,
+                               const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = in.NumRows();
+
+  Schema out_schema;
+  for (int c : key_cols) {
+    out_schema.Append(in.schema.col(static_cast<size_t>(c)));
+  }
+  std::vector<bool> is_int;
+  for (int c : value_cols) {
+    const auto& col = in.schema.col(static_cast<size_t>(c));
+    out_schema.Append(col);
+    is_int.push_back(col.type->is_scalar() &&
+                     col.type->scalar_kind() == nrc::ScalarKind::kInt);
+  }
+
+  // Local aggregation of one row list into (key, sums) rows. A row whose
+  // value fields are all NULL marks an outer miss: it creates the group but
+  // contributes nothing; groups with no contribution emit NULL values.
+  struct Acc {
+    std::vector<double> sums;
+    bool seen = false;
+  };
+  auto aggregate = [&](const std::vector<Row>& rows, bool rows_are_partial)
+      -> std::vector<Row> {
+    std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
+    std::vector<std::pair<KeyView, Acc>> groups;
+    for (const auto& row : rows) {
+      KeyView k = rows_are_partial
+                      ? KeyView{{row.fields.begin(),
+                                 row.fields.begin() +
+                                     static_cast<long>(key_cols.size())}}
+                      : ExtractKey(row, key_cols);
+      auto [it, inserted] = index.try_emplace(k, groups.size());
+      if (inserted) {
+        Acc acc;
+        acc.sums.assign(value_cols.size(), 0.0);
+        groups.emplace_back(k, std::move(acc));
+      }
+      Acc& acc = groups[it->second].second;
+      bool all_null = !value_cols.empty();
+      for (size_t i = 0; i < value_cols.size(); ++i) {
+        const Field& f =
+            rows_are_partial
+                ? row.fields[key_cols.size() + i]
+                : row.fields[static_cast<size_t>(value_cols[i])];
+        if (!f.is_null()) all_null = false;
+      }
+      if (all_null) continue;  // miss marker: group exists, no contribution
+      acc.seen = true;
+      for (size_t i = 0; i < value_cols.size(); ++i) {
+        const Field& f =
+            rows_are_partial
+                ? row.fields[key_cols.size() + i]
+                : row.fields[static_cast<size_t>(value_cols[i])];
+        if (!f.is_null()) acc.sums[i] += f.AsNumber();  // lone NULL casts to 0
+      }
+    }
+    std::vector<Row> out;
+    out.reserve(groups.size());
+    for (auto& [k, acc] : groups) {
+      Row row;
+      row.fields = k.fields;
+      for (size_t i = 0; i < acc.sums.size(); ++i) {
+        if (!acc.seen) {
+          row.fields.push_back(Field::Null());
+        } else {
+          row.fields.push_back(
+              is_int[i] ? Field::Int(static_cast<int64_t>(acc.sums[i]))
+                        : Field::Real(acc.sums[i]));
+        }
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  };
+
+  WorkMeter work(in.partitions.size());
+  Dataset partial;
+  partial.schema = out_schema;
+  partial.partitions.resize(in.partitions.size());
+  if (map_side_combine) {
+    for (size_t p = 0; p < in.partitions.size(); ++p) {
+      partial.partitions[p] = aggregate(in.partitions[p], false);
+      work.Add(p, PartBytes(in.partitions[p]) +
+                      PartBytes(partial.partitions[p]));
+    }
+  } else {
+    // Reshape rows to (key, value) layout without combining.
+    for (size_t p = 0; p < in.partitions.size(); ++p) {
+      partial.partitions[p].reserve(in.partitions[p].size());
+      for (const auto& row : in.partitions[p]) {
+        Row r;
+        for (int c : key_cols) {
+          r.fields.push_back(row.fields[static_cast<size_t>(c)]);
+        }
+        for (size_t i = 0; i < value_cols.size(); ++i) {
+          // NULLs pass through so the final aggregation pass can apply the
+          // miss-marker rule uniformly.
+          r.fields.push_back(row.fields[static_cast<size_t>(value_cols[i])]);
+        }
+        partial.partitions[p].push_back(std::move(r));
+      }
+      work.Add(p, PartBytes(in.partitions[p]));
+    }
+  }
+  partial.partitioning =
+      in.partitioning.IsHashOn(key_cols)
+          ? Partitioning::Hash([&] {
+              std::vector<int> cols;
+              for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
+                cols.push_back(i);
+              }
+              return cols;
+            }())
+          : Partitioning::None();
+
+  std::vector<int> partial_keys;
+  for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
+    partial_keys.push_back(i);
+  }
+  std::vector<std::vector<Row>> parts =
+      partial.partitioning.IsHashOn(partial_keys)
+          ? partial.partitions
+          : ShuffleByKey(cluster, partial, partial_keys, &stage);
+
+  Dataset out;
+  out.schema = out_schema;
+  out.partitions.resize(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    out.partitions[p] = aggregate(parts[p], true);
+    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::Hash(partial_keys);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+namespace {
+StatusOr<Schema> UnnestSchema(const Schema& in, int bag_col,
+                              const std::string& id_col_name) {
+  const auto& bag_type = in.col(static_cast<size_t>(bag_col)).type;
+  if (!bag_type->is_bag()) {
+    return Status::TypeError("unnest on non-bag column " +
+                             in.col(static_cast<size_t>(bag_col)).name);
+  }
+  TRANCE_ASSIGN_OR_RETURN(Schema inner, Schema::FromBagType(bag_type));
+  Schema out;
+  if (!id_col_name.empty()) {
+    out.Append({id_col_name, nrc::Type::Int()});
+  }
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (static_cast<int>(i) == bag_col) continue;
+    out.Append(in.col(i));
+  }
+  for (const auto& c : inner.columns()) {
+    std::string name = c.name;
+    while (out.IndexOf(name) >= 0) name += "__u";
+    out.Append({name, c.type});
+  }
+  return out;
+}
+}  // namespace
+
+StatusOr<Dataset> Unnest(Cluster* cluster, const Dataset& in, int bag_col,
+                         const std::string& name) {
+  TRANCE_ASSIGN_OR_RETURN(Schema out_schema, UnnestSchema(in.schema, bag_col, ""));
+  Dataset out;
+  out.schema = std::move(out_schema);
+  out.partitions.resize(in.partitions.size());
+  StageStats stage;
+  stage.op = name;
+  WorkMeter work(in.partitions.size());
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      work.Add(p, RowDeepSize(row));
+      const Field& bag = row.fields[static_cast<size_t>(bag_col)];
+      if (!bag.is_bag() || bag.AsBag() == nullptr) continue;
+      for (const auto& inner : *bag.AsBag()) {
+        Row r;
+        r.fields.reserve(row.fields.size() - 1 + inner.fields.size());
+        for (size_t i = 0; i < row.fields.size(); ++i) {
+          if (static_cast<int>(i) == bag_col) continue;
+          r.fields.push_back(row.fields[i]);
+        }
+        for (const auto& f : inner.fields) r.fields.push_back(f);
+        work.Add(p, RowDeepSize(r));
+        out.partitions[p].push_back(std::move(r));
+      }
+    }
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::None();
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> OuterUnnest(Cluster* cluster, const Dataset& in, int bag_col,
+                              const std::string& id_col_name,
+                              const std::string& name) {
+  TRANCE_ASSIGN_OR_RETURN(Schema out_schema,
+                          UnnestSchema(in.schema, bag_col, id_col_name));
+  const bool with_id = !id_col_name.empty();
+  size_t inner_width = out_schema.size() - (with_id ? 1 : 0) -
+                       (in.schema.size() - 1);
+  Dataset out;
+  out.schema = std::move(out_schema);
+  out.partitions.resize(in.partitions.size());
+  StageStats stage;
+  stage.op = name;
+  WorkMeter work(in.partitions.size());
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    int64_t idx = 0;
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      work.Add(p, RowDeepSize(row));
+      int64_t uid = (static_cast<int64_t>(p) << 40) | idx++;
+      const Field& bag = row.fields[static_cast<size_t>(bag_col)];
+      auto emit = [&](const Row* inner) {
+        Row r;
+        r.fields.reserve(out.schema.size());
+        if (with_id) r.fields.push_back(Field::Int(uid));
+        for (size_t i = 0; i < row.fields.size(); ++i) {
+          if (static_cast<int>(i) == bag_col) continue;
+          r.fields.push_back(row.fields[i]);
+        }
+        if (inner != nullptr) {
+          for (const auto& f : inner->fields) r.fields.push_back(f);
+        } else {
+          for (size_t i = 0; i < inner_width; ++i) {
+            r.fields.push_back(Field::Null());
+          }
+        }
+        work.Add(p, RowDeepSize(r));
+        out.partitions[p].push_back(std::move(r));
+      };
+      if (!bag.is_bag() || bag.AsBag() == nullptr || bag.AsBag()->empty()) {
+        emit(nullptr);
+      } else {
+        for (const auto& inner : *bag.AsBag()) emit(&inner);
+      }
+    }
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::None();
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> UnionAll(Cluster* cluster, const Dataset& a,
+                           const Dataset& b, const std::string& name) {
+  if (a.schema.size() != b.schema.size()) {
+    return Status::TypeError("union of schemas with different widths");
+  }
+  Dataset out;
+  out.schema = a.schema;
+  out.partitions.resize(
+      std::max(a.partitions.size(), b.partitions.size()));
+  for (size_t p = 0; p < a.partitions.size(); ++p) {
+    out.partitions[p].insert(out.partitions[p].end(), a.partitions[p].begin(),
+                             a.partitions[p].end());
+  }
+  for (size_t p = 0; p < b.partitions.size(); ++p) {
+    out.partitions[p].insert(out.partitions[p].end(), b.partitions[p].begin(),
+                             b.partitions[p].end());
+  }
+  out.partitioning = Partitioning::None();
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = a.NumRows() + b.NumRows();
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
+                           const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = in.NumRows();
+  std::vector<int> all_cols;
+  for (int i = 0; i < static_cast<int>(in.schema.size()); ++i) {
+    all_cols.push_back(i);
+  }
+  std::vector<std::vector<Row>> parts =
+      in.partitioning.IsHashOn(all_cols)
+          ? in.partitions
+          : ShuffleByKey(cluster, in, all_cols, &stage);
+  Dataset out;
+  out.schema = in.schema;
+  out.partitions.resize(parts.size());
+  WorkMeter work(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::unordered_set<KeyView, KeyViewHash, KeyViewEq> seen;
+    for (const auto& row : parts[p]) {
+      KeyView k{row.fields};
+      if (seen.insert(k).second) out.partitions[p].push_back(row);
+    }
+    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::Hash(std::move(all_cols));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
+                          const Dataset& right, std::vector<int> left_keys,
+                          std::vector<int> right_keys,
+                          std::vector<int> right_value_cols,
+                          const std::string& bag_col_name,
+                          const std::string& name) {
+  StageStats stage;
+  stage.op = name;
+  stage.rows_in = left.NumRows() + right.NumRows();
+  std::vector<std::vector<Row>> lparts =
+      left.partitioning.IsHashOn(left_keys)
+          ? left.partitions
+          : ShuffleByKey(cluster, left, left_keys, &stage);
+  std::vector<std::vector<Row>> rparts =
+      right.partitioning.IsHashOn(right_keys)
+          ? right.partitions
+          : ShuffleByKey(cluster, right, right_keys, &stage);
+
+  Schema out_schema = left.schema;
+  std::vector<nrc::Field> bag_fields;
+  for (int c : right_value_cols) {
+    const auto& col = right.schema.col(static_cast<size_t>(c));
+    bag_fields.push_back({col.name, col.type});
+  }
+  out_schema.Append(
+      {bag_col_name, nrc::Type::Bag(nrc::Type::Tuple(std::move(bag_fields)))});
+
+  Dataset out;
+  out.schema = std::move(out_schema);
+  out.partitions.resize(lparts.size());
+  WorkMeter work(lparts.size());
+  for (size_t p = 0; p < lparts.size(); ++p) {
+    std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
+        built;
+    for (const auto& r : rparts[p]) {
+      if (HasNullKey(r, right_keys)) continue;
+      Row proj;
+      proj.fields.reserve(right_value_cols.size());
+      for (int c : right_value_cols) {
+        proj.fields.push_back(r.fields[static_cast<size_t>(c)]);
+      }
+      built[ExtractKey(r, right_keys)].push_back(std::move(proj));
+    }
+    for (const auto& l : lparts[p]) {
+      Row row = l;
+      auto it = HasNullKey(l, left_keys)
+                    ? built.end()
+                    : built.find(ExtractKey(l, left_keys));
+      if (it == built.end()) {
+        row.fields.push_back(Field::Bag(std::vector<Row>{}));
+      } else {
+        row.fields.push_back(Field::Bag(it->second));
+      }
+      work.Add(p, RowDeepSize(row));
+      out.partitions[p].push_back(std::move(row));
+    }
+    work.Add(p, PartBytes(lparts[p]) + PartBytes(rparts[p]));
+  }
+  work.Finalize(&stage);
+  out.partitioning = Partitioning::Hash(std::move(left_keys));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  return out;
+}
+
+std::vector<Row> Take(const Dataset& in, size_t limit) {
+  std::vector<Row> out;
+  for (const auto& p : in.partitions) {
+    for (const auto& r : p) {
+      if (out.size() >= limit) return out;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace trance

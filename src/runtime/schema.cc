@@ -1,0 +1,60 @@
+#include "runtime/schema.h"
+
+#include "util/strings.h"
+
+namespace trance {
+namespace runtime {
+
+StatusOr<Schema> Schema::FromBagType(const nrc::TypePtr& bag_type) {
+  if (bag_type == nullptr || !bag_type->is_bag()) {
+    return Status::TypeError("Schema::FromBagType: not a bag type");
+  }
+  const nrc::TypePtr& elem = bag_type->element();
+  std::vector<Column> cols;
+  if (elem->is_tuple()) {
+    for (const auto& f : elem->fields()) {
+      cols.push_back({f.name, f.type});
+    }
+  } else {
+    // Bag of scalars: a single anonymous column.
+    cols.push_back({"_value", elem});
+  }
+  return Schema(std::move(cols));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<int> Schema::Require(const std::string& name) const {
+  int i = IndexOf(name);
+  if (i < 0) {
+    return Status::KeyError("schema has no column '" + name + "' in " +
+                            ToString());
+  }
+  return i;
+}
+
+nrc::TypePtr Schema::RowType() const {
+  std::vector<nrc::Field> fields;
+  fields.reserve(cols_.size());
+  for (const auto& c : cols_) fields.push_back({c.name, c.type});
+  return nrc::Type::Tuple(std::move(fields));
+}
+
+nrc::TypePtr Schema::BagType() const { return nrc::Type::Bag(RowType()); }
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(cols_.size());
+  for (const auto& c : cols_) {
+    parts.push_back(c.name + ": " + c.type->ToString());
+  }
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace runtime
+}  // namespace trance

@@ -1,0 +1,53 @@
+// Runtime schemas: named, NRC-typed columns of a distributed dataset.
+// Bag-typed columns hold local nested collections (standard pipeline);
+// label-typed columns appear in the shredded pipeline.
+#ifndef TRANCE_RUNTIME_SCHEMA_H_
+#define TRANCE_RUNTIME_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "nrc/type.h"
+#include "util/status.h"
+
+namespace trance {
+namespace runtime {
+
+struct Column {
+  std::string name;
+  nrc::TypePtr type;
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  /// Builds a schema from a bag-of-tuples NRC type.
+  static StatusOr<Schema> FromBagType(const nrc::TypePtr& bag_type);
+
+  const std::vector<Column>& columns() const { return cols_; }
+  size_t size() const { return cols_.size(); }
+  const Column& col(size_t i) const { return cols_[i]; }
+
+  int IndexOf(const std::string& name) const;
+  StatusOr<int> Require(const std::string& name) const;
+
+  void Append(Column c) { cols_.push_back(std::move(c)); }
+
+  /// The tuple type of one row.
+  nrc::TypePtr RowType() const;
+  /// Bag-of-rows type.
+  nrc::TypePtr BagType() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_SCHEMA_H_

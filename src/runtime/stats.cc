@@ -1,0 +1,28 @@
+#include "runtime/stats.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace trance {
+namespace runtime {
+
+std::string JobStats::ToString() const {
+  std::ostringstream os;
+  os << "JobStats{stages=" << stages_.size()
+     << ", shuffle=" << FormatBytes(totals_.shuffle_bytes)
+     << ", max_stage_shuffle=" << FormatBytes(max_stage_shuffle_)
+     << ", peak_partition=" << FormatBytes(peak_partition_bytes_)
+     << ", sim_time=" << FormatDouble(sim_seconds_, 3) << "s}";
+  for (const auto& s : stages_) {
+    os << "\n  " << s.op << ": in=" << s.rows_in << " out=" << s.rows_out
+       << " shuffle=" << FormatBytes(s.shuffle_bytes)
+       << " max_recv=" << FormatBytes(s.max_partition_recv_bytes)
+       << " max_work=" << FormatBytes(s.max_partition_work_bytes)
+       << " t=" << FormatDouble(s.sim_seconds, 4) << "s";
+  }
+  return os.str();
+}
+
+}  // namespace runtime
+}  // namespace trance

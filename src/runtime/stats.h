@@ -1,0 +1,78 @@
+// Execution statistics for the simulated cluster.
+//
+// The evaluation quantities of the paper are data-movement quantities: bytes
+// shuffled per stage, straggler load (max per-partition work under
+// synchronous stage execution), and memory saturation. Each bulk operator
+// records one StageStats; the simulated job time is the sum over stages of
+//   overhead + max_partition_work_bytes * cpu_cost + max_partition_recv_bytes * net_cost,
+// i.e. every stage is as slow as its most loaded worker — which is exactly
+// how skew hurts synchronous platforms like Spark (Section 1, Challenge 3).
+#ifndef TRANCE_RUNTIME_STATS_H_
+#define TRANCE_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trance {
+namespace runtime {
+
+struct StageStats {
+  std::string op;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t shuffle_bytes = 0;             // bytes moved between partitions
+  uint64_t max_partition_recv_bytes = 0;  // heaviest receiver in the shuffle
+  uint64_t max_partition_work_bytes = 0;  // heaviest worker's processed bytes
+  uint64_t total_work_bytes = 0;
+  double sim_seconds = 0;
+};
+
+/// Accumulated statistics for one logical job (query execution).
+class JobStats {
+ public:
+  void AddStage(StageStats s) {
+    totals_.shuffle_bytes += s.shuffle_bytes;
+    totals_.rows_in += s.rows_in;
+    totals_.rows_out += s.rows_out;
+    totals_.total_work_bytes += s.total_work_bytes;
+    if (s.shuffle_bytes > max_stage_shuffle_) {
+      max_stage_shuffle_ = s.shuffle_bytes;
+    }
+    sim_seconds_ += s.sim_seconds;
+    stages_.push_back(std::move(s));
+  }
+
+  void NotePeakPartitionBytes(uint64_t b) {
+    if (b > peak_partition_bytes_) peak_partition_bytes_ = b;
+  }
+
+  const std::vector<StageStats>& stages() const { return stages_; }
+  uint64_t total_shuffle_bytes() const { return totals_.shuffle_bytes; }
+  /// The largest single-stage shuffle ("max data shuffle" in Section 6).
+  uint64_t max_stage_shuffle_bytes() const { return max_stage_shuffle_; }
+  uint64_t peak_partition_bytes() const { return peak_partition_bytes_; }
+  double sim_seconds() const { return sim_seconds_; }
+
+  void Reset() {
+    stages_.clear();
+    totals_ = StageStats{};
+    max_stage_shuffle_ = 0;
+    peak_partition_bytes_ = 0;
+    sim_seconds_ = 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<StageStats> stages_;
+  StageStats totals_;
+  uint64_t max_stage_shuffle_ = 0;
+  uint64_t peak_partition_bytes_ = 0;
+  double sim_seconds_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_STATS_H_

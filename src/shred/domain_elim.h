@@ -1,0 +1,115 @@
+// Normalization of shredded expressions and the domain-elimination rules of
+// Section 4.
+//
+// SimplifyShredded performs the Normalize step of Fig. 5 (let inlining) plus
+// the symbolic reductions that make dictionary plumbing concrete:
+//   Proj(<tuple ctor>, a)         -> the field expression
+//   get({e})                      -> e
+//   Lookup(lambda l. b, lbl)      -> b[l := lbl]
+//   match NewLabel(ps) = m then b -> b[m.p := ps[p]]
+// and rewrites residual Lookups whose dictionary expression resolves through
+// a DictResolver (chains of .afun/.achild/get over dictionary-tree variables)
+// into MatLookups on the materialized dictionary datasets.
+//
+// EmitRelationalDict turns one symbolic dictionary lambda into a flat NRC
+// expression producing the *relational* dictionary Bag(<label, ...fields>),
+// applying:
+//   rule 1 — the label captures exactly one label-typed attribute that keys a
+//            MatLookup: iterate the parent's materialized dictionary directly
+//            (with the sumBy extension);
+//   rule 2 — the label captures scalar attributes equated with generator
+//            attributes: produce label-tagged rows from the generators alone;
+//   baseline — otherwise: a LabDomain assignment (dedup of parent labels)
+//            plus per-label evaluation (single-label captures lower to a
+//            join; general captures keep the match construct, which only the
+//            interpreter evaluates).
+#ifndef TRANCE_SHRED_DOMAIN_ELIM_H_
+#define TRANCE_SHRED_DOMAIN_ELIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nrc/expr.h"
+#include "util/status.h"
+
+namespace trance {
+namespace shred {
+
+/// Resolves dictionary-tree variables to materialized dataset names:
+/// Var(root) descends through Proj(., "<a>fun"/"<a>child") and get(); a
+/// "...fun" endpoint at path p resolves to `mat_names[root].prefix + p`.
+struct DictResolver {
+  /// Dict-tree variable name -> base name used for its materialized
+  /// dictionaries ("X" => dictionaries "X_D_<path>").
+  std::map<std::string, std::string> roots;
+
+  /// Materialized dataset name for base + path.
+  std::string MatName(const std::string& base, const std::string& path) const;
+
+  /// Attempts to resolve `e` to (base, path, is_fun_endpoint).
+  bool Resolve(const nrc::ExprPtr& e, std::string* base, std::string* path,
+               bool* is_fun) const;
+};
+
+/// Fig. 5 Normalize + symbolic reduction + MatLookup rewriting.
+StatusOr<nrc::ExprPtr> SimplifyShredded(const nrc::ExprPtr& e,
+                                        const DictResolver& resolver);
+
+/// One dictionary lambda of a dictionary tree (already simplified):
+/// lambda `lambda_var`. match `lambda_var` = NewLabel(`match_var`) then body.
+struct DictLambda {
+  std::string lambda_var;
+  std::string match_var;
+  nrc::ExprPtr body;
+  nrc::TypePtr param_type;  // tuple type of the captured parameters
+};
+
+/// Which derivation produced a dictionary:
+///   kRule1/kRule2 — the Section 4 domain-elimination rules;
+///   kRule3 — label domain rebuilt from the *parent expression's* own
+///            generators (for labels capturing several attributes, e.g. a
+///            label plus a correlation scalar, as in the biomedical Step2);
+///            two assignments, both runtime-executable;
+///   kBaseline — Fig. 5 label domains; runtime-executable only for
+///            single-label captures (match kept otherwise).
+enum class DictEmission { kRule1, kRule2, kRule3, kBaseline };
+
+struct EmittedDict {
+  DictEmission rule;
+  /// Expression computing the relational dictionary Bag(<label, ...>).
+  nrc::ExprPtr expr;
+  /// For kBaseline: an extra prerequisite assignment (the label domain);
+  /// empty var otherwise.
+  std::string domain_var;
+  nrc::ExprPtr domain_expr;
+};
+
+/// `parent` names the materialized parent collection (top bag or parent
+/// dictionary) and `attr` the label-valued attribute keying this dictionary;
+/// they are only used by the baseline emission. `flat_elem` is the
+/// dictionary's flat element type; `force_baseline` disables the rules (the
+/// domain-elimination ablation).
+StatusOr<EmittedDict> EmitRelationalDict(const DictLambda& lam,
+                                         const std::string& parent,
+                                         const std::string& attr,
+                                         const nrc::TypePtr& flat_elem,
+                                         const std::string& domain_var_name,
+                                         bool force_baseline);
+
+/// Rule-3 emission: `parent_expr` is the comprehension that computes the
+/// parent collection (the flat top bag or the parent dictionary), whose head
+/// constructs this dictionary's labels via NewLabel(attr := ...). The label
+/// domain re-runs the parent's generators, deduplicated over the captured
+/// parameters; the dictionary iterates that domain. Fails (so the caller can
+/// fall back) when the parent expression does not have the required shape.
+StatusOr<EmittedDict> EmitRule3Dict(const DictLambda& lam,
+                                    const nrc::ExprPtr& parent_expr,
+                                    const std::string& attr,
+                                    const nrc::TypePtr& flat_elem,
+                                    const std::string& domain_var_name);
+
+}  // namespace shred
+}  // namespace trance
+
+#endif  // TRANCE_SHRED_DOMAIN_ELIM_H_

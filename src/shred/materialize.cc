@@ -1,0 +1,269 @@
+#include "shred/materialize.h"
+
+#include <map>
+
+#include "nrc/typecheck.h"
+#include "shred/domain_elim.h"
+#include "shred/symbolic.h"
+
+namespace trance {
+namespace shred {
+
+using nrc::Expr;
+using nrc::ExprPtr;
+using nrc::Type;
+using nrc::TypePtr;
+
+namespace {
+
+struct CollectedDicts {
+  // path -> dictionary lambdas contributing to it
+  std::map<std::string, std::vector<DictLambda>> lambdas;
+  // path -> already-materialized source dictionaries (passthrough)
+  std::map<std::string, std::vector<std::string>> passthrough;
+};
+
+/// Records passthroughs for every dictionary path under `src_elem`.
+void CollectPassthrough(const TypePtr& src_elem, const std::string& prefix,
+                        const std::string& base, const std::string& src_path,
+                        const DictResolver& resolver, CollectedDicts* out) {
+  if (!src_elem->is_tuple()) return;
+  for (const auto& f : src_elem->fields()) {
+    if (!f.type->is_bag()) continue;
+    std::string sub = prefix.empty() ? f.name : prefix + "_" + f.name;
+    std::string src_sub =
+        src_path.empty() ? f.name : src_path + "_" + f.name;
+    out->passthrough[sub].push_back(resolver.MatName(base, src_sub));
+    CollectPassthrough(f.type->element(), sub, base, src_sub, resolver, out);
+  }
+}
+
+Status CollectDicts(const ExprPtr& d_expr, const TypePtr& src_elem,
+                    const std::string& prefix, const DictResolver& resolver,
+                    CollectedDicts* out) {
+  using K = Expr::Kind;
+  if (!src_elem->is_tuple()) return Status::OK();
+  bool has_bag_attr = false;
+  for (const auto& f : src_elem->fields()) {
+    if (f.type->is_bag()) has_bag_attr = true;
+  }
+  if (!has_bag_attr) return Status::OK();
+
+  if (d_expr->kind() == K::kDictTreeUnion) {
+    TRANCE_RETURN_NOT_OK(
+        CollectDicts(d_expr->child(0), src_elem, prefix, resolver, out));
+    return CollectDicts(d_expr->child(1), src_elem, prefix, resolver, out);
+  }
+
+  // A resolvable dictionary-tree expression: everything below is already
+  // materialized (input or earlier assignment).
+  {
+    std::string base, path;
+    bool is_fun = false;
+    if (resolver.Resolve(d_expr, &base, &path, &is_fun) && !is_fun) {
+      CollectPassthrough(src_elem, prefix, base, path, resolver, out);
+      return Status::OK();
+    }
+  }
+
+  if (d_expr->kind() != K::kTupleCtor) {
+    return Status::NotImplemented(
+        "dictionary tree did not normalize to a tuple constructor");
+  }
+  auto field_of = [&](const std::string& name) -> ExprPtr {
+    for (const auto& f : d_expr->fields()) {
+      if (f.name == name) return f.expr;
+    }
+    return nullptr;
+  };
+  for (const auto& f : src_elem->fields()) {
+    if (!f.type->is_bag()) continue;
+    std::string sub = prefix.empty() ? f.name : prefix + "_" + f.name;
+    ExprPtr fun = field_of(f.name + "fun");
+    ExprPtr child = field_of(f.name + "child");
+    if (fun == nullptr || child == nullptr) {
+      return Status::Internal("dictionary tree lacks entries for attribute " +
+                              f.name);
+    }
+    // The fun entry: a lambda whose body is (usually) a match.
+    if (fun->kind() != K::kLambda) {
+      return Status::NotImplemented("dictionary is not a lambda after "
+                                    "normalization");
+    }
+    DictLambda lam;
+    lam.lambda_var = fun->var_name();
+    const ExprPtr& body = fun->child(0);
+    if (body->kind() == K::kMatchLabel &&
+        body->child(0)->kind() == K::kVarRef &&
+        body->child(0)->var_name() == lam.lambda_var) {
+      lam.match_var = body->var_name();
+      lam.body = body->child(1);
+      lam.param_type = body->match_param_type();
+    } else {
+      lam.match_var = "_unused_m";
+      lam.body = body;
+      lam.param_type = Type::Tuple({});
+    }
+    out->lambdas[sub].push_back(std::move(lam));
+
+    // Child dictionary tree.
+    ExprPtr child_tree = child;
+    if (child_tree->kind() == K::kSingleton) {
+      child_tree = child_tree->child(0);
+    } else if (child_tree->kind() == K::kGet) {
+      // leave as-is; resolver handles chains
+    }
+    TRANCE_RETURN_NOT_OK(
+        CollectDicts(child_tree, f.type->element(), sub, resolver, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<MaterializedProgram> ShredAndMaterialize(const nrc::Program& source,
+                                                  MaterializeMode mode) {
+  nrc::Typechecker tc;
+  TRANCE_ASSIGN_OR_RETURN(nrc::TypeEnv full_env, tc.CheckProgram(source));
+
+  MaterializedProgram out;
+  DictResolver resolver;
+  nrc::TypeEnv src_env;
+  std::map<std::string, VarMapping> mapping;
+
+  // Shredded inputs.
+  for (const auto& in : source.inputs) {
+    src_env[in.name] = in.type;
+    if (!in.type->is_bag()) {
+      return Status::Invalid("program input is not a bag: " + in.name);
+    }
+    TRANCE_ASSIGN_OR_RETURN(ShreddedType st, ShredType(in.type));
+    out.program.inputs.push_back({FlatInputName(in.name), st.flat});
+    TRANCE_ASSIGN_OR_RETURN(std::vector<DictEntry> walk,
+                            DictTreeWalk(in.type));
+    for (const auto& d : walk) {
+      TRANCE_ASSIGN_OR_RETURN(TypePtr rel, RelationalDictType(d.flat_elem));
+      out.program.inputs.push_back({DictInputName(in.name, d.path), rel});
+    }
+    mapping[in.name] = {FlatInputName(in.name), in.name + "_D"};
+    resolver.roots[in.name + "_D"] = in.name;
+  }
+
+  std::string last_var;
+  for (const auto& a : source.assignments) {
+    const TypePtr& vt = full_env.at(a.var);
+    SymbolicShredder shredder(src_env, mapping);
+    TRANCE_ASSIGN_OR_RETURN(ShreddedQuery sq, shredder.Shred(a.expr));
+    TRANCE_ASSIGN_OR_RETURN(ExprPtr flat, SimplifyShredded(sq.flat, resolver));
+    std::string flat_var = a.var + "_F";
+    out.program.assignments.push_back({flat_var, flat});
+    // Emitted expression per path (the rule-3 derivation reads the parent's
+    // expression to rebuild label domains).
+    std::map<std::string, ExprPtr> emitted_exprs;
+    emitted_exprs[""] = flat;
+
+    if (vt->is_bag()) {
+      TRANCE_ASSIGN_OR_RETURN(ExprPtr dict_tree,
+                              SimplifyShredded(sq.dict_tree, resolver));
+      TRANCE_ASSIGN_OR_RETURN(std::vector<DictEntry> walk, DictTreeWalk(vt));
+      CollectedDicts collected;
+      TRANCE_RETURN_NOT_OK(
+          CollectDicts(dict_tree, vt->element(), "", resolver, &collected));
+      int domain_counter = 0;
+      for (const auto& entry : walk) {
+        std::string dict_var = DictInputName(a.var, entry.path);
+        std::string parent_var =
+            entry.parent_path.empty()
+                ? flat_var
+                : DictInputName(a.var, entry.parent_path);
+        std::vector<ExprPtr> pieces;
+        auto lam_it = collected.lambdas.find(entry.path);
+        if (lam_it != collected.lambdas.end()) {
+          for (const auto& lam : lam_it->second) {
+            std::string domain_var =
+                a.var + "_LD_" + entry.path +
+                (domain_counter ? "_" + std::to_string(domain_counter) : "");
+            ++domain_counter;
+            TRANCE_ASSIGN_OR_RETURN(
+                EmittedDict emitted,
+                EmitRelationalDict(lam, parent_var, entry.attr,
+                                   entry.flat_elem, domain_var,
+                                   mode == MaterializeMode::kBaseline));
+            bool match_kept =
+                emitted.rule == DictEmission::kBaseline &&
+                (lam.param_type == nullptr || !lam.param_type->is_tuple() ||
+                 lam.param_type->fields().size() != 1 ||
+                 !lam.param_type->fields()[0].type->is_label());
+            if (match_kept && mode != MaterializeMode::kBaseline) {
+              // Multi-attribute captures: derive the label domain from the
+              // parent expression instead (rule 3), keeping the program
+              // runtime-executable.
+              auto parent_it = emitted_exprs.find(entry.parent_path);
+              if (parent_it != emitted_exprs.end()) {
+                auto rule3 =
+                    EmitRule3Dict(lam, parent_it->second, entry.attr,
+                                  entry.flat_elem, domain_var);
+                if (rule3.ok()) {
+                  emitted = std::move(rule3).value();
+                  match_kept = false;
+                }
+              }
+            }
+            if (emitted.rule == DictEmission::kBaseline ||
+                emitted.rule == DictEmission::kRule3) {
+              out.program.assignments.push_back(
+                  {emitted.domain_var, emitted.domain_expr});
+              if (match_kept) out.interpreter_only = true;
+            }
+            pieces.push_back(emitted.expr);
+          }
+        }
+        auto pass_it = collected.passthrough.find(entry.path);
+        if (pass_it != collected.passthrough.end()) {
+          for (const auto& src : pass_it->second) {
+            pieces.push_back(Expr::Var(src));
+          }
+        }
+        if (pieces.empty()) {
+          return Status::Internal("no dictionary derivation for path " +
+                                  entry.path + " of " + a.var);
+        }
+        ExprPtr expr = pieces[0];
+        for (size_t i = 1; i < pieces.size(); ++i) {
+          expr = Expr::Union(expr, pieces[i]);
+        }
+        emitted_exprs[entry.path] = pieces[0];
+        out.program.assignments.push_back({dict_var, expr});
+      }
+    }
+
+    mapping[a.var] = {flat_var, a.var + "_D"};
+    resolver.roots[a.var + "_D"] = a.var;
+    src_env[a.var] = vt;
+    last_var = a.var;
+  }
+
+  if (last_var.empty()) return Status::Invalid("empty program");
+  out.top_var = last_var + "_F";
+  out.output_type = full_env.at(last_var);
+  if (out.output_type->is_bag()) {
+    TRANCE_ASSIGN_OR_RETURN(std::vector<DictEntry> walk,
+                            DictTreeWalk(out.output_type));
+    for (const auto& d : walk) {
+      out.dicts.push_back(
+          {d.path, DictInputName(last_var, d.path), d.flat_elem});
+    }
+  }
+
+  // Validate: the materialized program must typecheck.
+  nrc::Typechecker check;
+  auto env = check.CheckProgram(out.program);
+  if (!env.ok()) {
+    return Status::Internal("materialized program does not typecheck: " +
+                            env.status().ToString());
+  }
+  return out;
+}
+
+}  // namespace shred
+}  // namespace trance

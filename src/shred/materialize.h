@@ -1,0 +1,58 @@
+// The materialization phase (Section 4, Fig. 5): turns symbolically shredded
+// programs into lambda-free assignment sequences computing explicit
+// (relational) dictionaries.
+//
+// For a source program P with assignments v <= e, the materialized program
+// contains, per assignment:
+//   v_F       <= e^F with symbolic input dictionaries replaced by their
+//                materialized counterparts (ReplaceSymbolicDicts),
+//   v_D_<p>   <= one relational dictionary Bag(<label, ...fields>) per
+//                dictionary path p of v's type, derived from the dictionary
+//                tree e^D via domain elimination (or via LabDomain
+//                assignments in baseline mode, Fig. 5 lines 3-8),
+// over the shredded inputs X_F / X_D_<p>.
+#ifndef TRANCE_SHRED_MATERIALIZE_H_
+#define TRANCE_SHRED_MATERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nrc/expr.h"
+#include "shred/shredded_type.h"
+#include "util/status.h"
+
+namespace trance {
+namespace shred {
+
+enum class MaterializeMode {
+  kDomainElimination,  // apply the Section 4 domain-elimination rules
+  kBaseline,           // always compute label domains (Fig. 5 verbatim)
+};
+
+struct MatDictOut {
+  std::string path;
+  std::string var;
+  nrc::TypePtr flat_elem;
+};
+
+struct MaterializedProgram {
+  nrc::Program program;
+  /// Variable of the final top-level flat bag.
+  std::string top_var;
+  /// The final assignment's dictionaries, parents first.
+  std::vector<MatDictOut> dicts;
+  /// Source (nested) type of the final assignment.
+  nrc::TypePtr output_type;
+  /// True when some dictionary kept a match construct (baseline mode with
+  /// multi-attribute labels); such programs run on the interpreter only.
+  bool interpreter_only = false;
+};
+
+/// Shreds and materializes a whole program.
+StatusOr<MaterializedProgram> ShredAndMaterialize(const nrc::Program& source,
+                                                  MaterializeMode mode);
+
+}  // namespace shred
+}  // namespace trance
+
+#endif  // TRANCE_SHRED_MATERIALIZE_H_

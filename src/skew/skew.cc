@@ -1,0 +1,184 @@
+#include "skew/skew.h"
+
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace trance {
+namespace skew {
+
+using runtime::Cluster;
+using runtime::Dataset;
+using runtime::Field;
+using runtime::JoinType;
+using runtime::KeyView;
+using runtime::Partitioning;
+using runtime::Row;
+using runtime::StageStats;
+
+SkewTriple SkewTriple::AllLight(Dataset ds) {
+  SkewTriple t;
+  t.heavy.schema = ds.schema;
+  t.heavy.partitions.resize(ds.partitions.size());
+  t.light = std::move(ds);
+  t.heavy_keys = std::nullopt;
+  return t;
+}
+
+StatusOr<Dataset> MergeTriple(Cluster* cluster, const SkewTriple& t,
+                              const std::string& name) {
+  if (t.heavy.NumRows() == 0) return t.light;
+  return runtime::UnionAll(cluster, t.light, t.heavy, name + ".merge");
+}
+
+HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
+                            std::vector<int> key_cols) {
+  const auto& cfg = cluster->config();
+  HeavyKeySet out;
+  out.key_cols = key_cols;
+  // Deterministic pseudo-random sampling (hash-selected positions; a fixed
+  // stride would alias with cyclic key layouts).
+  uint64_t stride = cfg.skew_sample_rate <= 0
+                        ? 1
+                        : static_cast<uint64_t>(1.0 / cfg.skew_sample_rate);
+  if (stride == 0) stride = 1;
+  StageStats stage;
+  stage.op = "heavy_keys";
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    const auto& part = in.partitions[p];
+    std::unordered_map<KeyView, size_t, runtime::KeyViewHash,
+                       runtime::KeyViewEq>
+        counts;
+    size_t sampled = 0;
+    for (size_t i = 0; i < part.size(); ++i) {
+      if (Mix64((static_cast<uint64_t>(p) << 32) ^ i ^ cfg.seed) % stride !=
+          0) {
+        continue;
+      }
+      ++counts[runtime::ExtractKey(part[i], key_cols)];
+      ++sampled;
+      stage.rows_in++;
+    }
+    if (sampled == 0) continue;
+    size_t cutoff = static_cast<size_t>(
+        cfg.heavy_key_threshold * static_cast<double>(sampled));
+    if (cutoff < 2) cutoff = 2;
+    for (const auto& [k, c] : counts) {
+      if (c >= cutoff) out.keys.insert(k);
+    }
+  }
+  // The sampling pass is cheap but not free; account a small stage. The
+  // heavy-key set itself is tiny (<= 100/threshold keys per partition) and is
+  // broadcast to all workers.
+  stage.shuffle_bytes =
+      out.keys.size() * 16 * static_cast<uint64_t>(cluster->num_partitions());
+  cluster->RecordStage(std::move(stage));
+  return out;
+}
+
+StatusOr<SkewTriple> SplitByHeavyKeys(Cluster* cluster, const Dataset& in,
+                                      std::vector<int> key_cols,
+                                      std::optional<HeavyKeySet> known,
+                                      const std::string& name) {
+  HeavyKeySet hk = known.has_value()
+                       ? std::move(*known)
+                       : DetectHeavyKeys(cluster, in, key_cols);
+  SkewTriple out;
+  out.light.schema = in.schema;
+  out.heavy.schema = in.schema;
+  out.light.partitions.resize(in.partitions.size());
+  out.heavy.partitions.resize(in.partitions.size());
+  out.light.partitioning = in.partitioning;
+  out.heavy.partitioning = Partitioning::None();
+  StageStats stage;
+  stage.op = name + ".split";
+  for (size_t p = 0; p < in.partitions.size(); ++p) {
+    for (const auto& row : in.partitions[p]) {
+      ++stage.rows_in;
+      if (!hk.empty() && hk.Contains(row, key_cols)) {
+        out.heavy.partitions[p].push_back(row);
+      } else {
+        out.light.partitions[p].push_back(row);
+      }
+    }
+  }
+  stage.rows_out = stage.rows_in;
+  cluster->RecordStage(std::move(stage));
+  hk.key_cols = std::move(key_cols);
+  out.heavy_keys = std::move(hk);
+  return out;
+}
+
+StatusOr<SkewTriple> SkewAwareJoin(Cluster* cluster, const SkewTriple& left,
+                                   const SkewTriple& right,
+                                   std::vector<int> left_keys,
+                                   std::vector<int> right_keys,
+                                   JoinType type, const std::string& name) {
+  // (X_L, X_H, hk) = X.heavyKeys(f): reuse the incoming key set when it was
+  // computed on the same columns, otherwise merge and re-detect.
+  SkewTriple x;
+  if (left.heavy_keys.has_value() && left.heavy_keys->key_cols == left_keys) {
+    x = left;
+  } else {
+    TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                            MergeTriple(cluster, left, name + ".lhs"));
+    TRANCE_ASSIGN_OR_RETURN(
+        x, SplitByHeavyKeys(cluster, merged, left_keys, std::nullopt,
+                            name + ".lhs"));
+  }
+  const HeavyKeySet& hk = *x.heavy_keys;
+
+  // Y_L = Y.filter(!hk(g(y))); Y_H = Y.filter(hk(g(y))).
+  TRANCE_ASSIGN_OR_RETURN(Dataset y, MergeTriple(cluster, right, name + ".rhs"));
+  HeavyKeySet rhk;
+  rhk.key_cols = right_keys;
+  rhk.keys = hk.keys;
+  TRANCE_ASSIGN_OR_RETURN(
+      SkewTriple ysplit,
+      SplitByHeavyKeys(cluster, y, right_keys, std::move(rhk), name + ".rhs"));
+
+  TRANCE_ASSIGN_OR_RETURN(
+      Dataset light, runtime::HashJoin(cluster, x.light, ysplit.light,
+                                       left_keys, right_keys, type,
+                                       name + ".light"));
+  TRANCE_ASSIGN_OR_RETURN(
+      Dataset heavy,
+      runtime::BroadcastJoin(cluster, x.heavy, ysplit.heavy, left_keys,
+                             right_keys, type, name + ".heavy"));
+  SkewTriple out;
+  out.light = std::move(light);
+  out.heavy = std::move(heavy);
+  // Key columns keep their positions (left columns lead the join output).
+  HeavyKeySet out_hk;
+  out_hk.key_cols = left_keys;
+  out_hk.keys = hk.keys;
+  out.heavy_keys = std::move(out_hk);
+  return out;
+}
+
+StatusOr<SkewTriple> SkewAwareBagToDict(Cluster* cluster, const SkewTriple& in,
+                                        int label_col,
+                                        const std::string& name) {
+  SkewTriple x;
+  std::vector<int> cols{label_col};
+  if (in.heavy_keys.has_value() && in.heavy_keys->key_cols == cols) {
+    x = in;
+  } else {
+    TRANCE_ASSIGN_OR_RETURN(Dataset merged, MergeTriple(cluster, in, name));
+    TRANCE_ASSIGN_OR_RETURN(
+        x, SplitByHeavyKeys(cluster, merged, cols, std::nullopt, name));
+  }
+  // Light labels are repartitioned (restoring the label-based partitioning
+  // guarantee); heavy labels stay distributed where they are.
+  TRANCE_ASSIGN_OR_RETURN(
+      Dataset light,
+      runtime::Repartition(cluster, x.light, cols, name + ".light"));
+  SkewTriple out;
+  out.light = std::move(light);
+  out.heavy = x.heavy;
+  out.heavy_keys = x.heavy_keys;
+  return out;
+}
+
+}  // namespace skew
+}  // namespace trance

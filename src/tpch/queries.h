@@ -1,0 +1,44 @@
+// The TPC-H micro-benchmark query suite (Section 6): flat-to-nested,
+// nested-to-nested, and nested-to-flat NRC programs with 0-4 levels of
+// nesting, in narrow and wide variants.
+//
+// Queries "start with the Lineitem table at level 0, then group across
+// Orders, Customer, Nation, then Region as the level increases"; the narrow
+// variant keeps a single attribute per upper level (o_orderdate, c_name,
+// n_name, r_name) and (l_partkey, l_quantity) at the leaf, while the wide
+// variant keeps every attribute. Nested-to-nested joins Part at the lowest
+// level and aggregates qty*price per part name (Example 1); nested-to-flat
+// applies the aggregation at top level keyed by a top-level attribute.
+#ifndef TRANCE_TPCH_QUERIES_H_
+#define TRANCE_TPCH_QUERIES_H_
+
+#include "nrc/expr.h"
+#include "util/status.h"
+
+namespace trance {
+namespace tpch {
+
+enum class Width { kNarrow, kWide };
+
+/// Maximum nesting depth of the suite (Region level).
+inline constexpr int kMaxDepth = 4;
+
+/// Flat-to-nested query of the given depth. Inputs: the depth+1 relations
+/// (Lineitem .. Region). Depth 0 degenerates to a lineitem projection.
+StatusOr<nrc::Program> FlatToNested(int depth, Width width);
+
+/// Output type of FlatToNested (the nested input type of the downstream
+/// queries).
+StatusOr<nrc::TypePtr> FlatToNestedOutputType(int depth, Width width);
+
+/// Nested-to-nested query over input "COP" of the flat-to-nested output
+/// type: joins Part at the lowest level, sumBy total per part name.
+StatusOr<nrc::Program> NestedToNested(int depth, Width width);
+
+/// Nested-to-flat query: navigates all levels and aggregates at top level.
+StatusOr<nrc::Program> NestedToFlat(int depth, Width width);
+
+}  // namespace tpch
+}  // namespace trance
+
+#endif  // TRANCE_TPCH_QUERIES_H_

@@ -1,0 +1,50 @@
+// Hash combination helpers used by row hashing, label fingerprints, and the
+// hash-partitioner.
+#ifndef TRANCE_UTIL_HASH_H_
+#define TRANCE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace trance {
+
+/// 64-bit mix (Murmur3 finalizer); good avalanche for partitioning.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2)));
+}
+
+inline uint64_t HashBytes(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ull) {
+  // FNV-1a followed by a strong mix.
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashDouble(double d) {
+  uint64_t bits;
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  std::memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+}  // namespace trance
+
+#endif  // TRANCE_UTIL_HASH_H_

@@ -1,0 +1,83 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace trance {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97f4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  state_ = SplitMix64(&s);
+  if (state_ == 0) state_ = 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t x = state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  TRANCE_CHECK(n > 0, "Uniform(0)");
+  return NextU64() % n;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  TRANCE_CHECK(lo <= hi, "UniformRange: lo > hi");
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::string Rng::NextString(size_t len) {
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return s;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) : exponent_(exponent) {
+  TRANCE_CHECK(n > 0, "ZipfSampler over empty domain");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += (exponent == 0.0)
+                 ? 1.0
+                 : 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace trance

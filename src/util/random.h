@@ -1,0 +1,58 @@
+// Seeded pseudo-random generation: uniform helpers and a Zipf sampler used
+// by the skewed TPC-H and biomedical data generators.
+#ifndef TRANCE_UTIL_RANDOM_H_
+#define TRANCE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trance {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift). All generators in
+/// the repo take an explicit seed so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// Uniform real in [0, 1).
+  double NextDouble();
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len);
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using the inverse-CDF method over a
+/// precomputed table. Exponent s == 0 degenerates to uniform, matching the
+/// paper's "skew factor 0" (standard TPC-H generator behaviour); larger s
+/// concentrates mass on few heavy keys ("skew factor 4 gives the greatest
+/// skew").
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws a rank in [0, n); rank 0 is the heaviest.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace trance
+
+#endif  // TRANCE_UTIL_RANDOM_H_

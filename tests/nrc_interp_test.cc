@@ -1,0 +1,310 @@
+// Unit tests for the NRC reference interpreter (the correctness oracle),
+// including the NRC^{Lbl+lambda} constructs used by the shredded pipeline.
+#include <gtest/gtest.h>
+
+#include "nrc/builder.h"
+#include "nrc/interp.h"
+#include "nrc/value.h"
+
+namespace trance {
+namespace nrc {
+namespace {
+
+using namespace dsl;
+
+Value Tup2(const std::string& a, Value va, const std::string& b, Value vb) {
+  return Value::Tuple({{a, std::move(va)}, {b, std::move(vb)}});
+}
+
+StatusOr<Value> EvalIn(const ExprPtr& e,
+                    std::vector<std::pair<std::string, Value>> bindings) {
+  EnvPtr env = Env::Empty();
+  for (auto& [n, v] : bindings) env = Env::Bind(env, n, std::move(v));
+  Interpreter interp;
+  return interp.Eval(e, env);
+}
+
+TEST(InterpTest, ConstAndArith) {
+  auto v = EvalIn(Mul(Add(I(2), I(3)), I(4)), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 20);
+
+  auto r = EvalIn(Add(I(1), R(0.5)), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_real());
+  EXPECT_DOUBLE_EQ(r->AsReal(), 1.5);
+
+  auto div = EvalIn(Div(I(7), I(2)), {});
+  ASSERT_TRUE(div.ok());
+  EXPECT_DOUBLE_EQ(div->AsReal(), 3.5);
+
+  EXPECT_FALSE(EvalIn(Div(I(1), I(0)), {}).ok());
+}
+
+TEST(InterpTest, ComparisonAndBool) {
+  auto v = EvalIn(And(Lt(I(1), I(2)), Or(B(false), Ge(R(2.0), I(2)))), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+  // Short-circuit: false && <error> is false, not an error.
+  auto sc = EvalIn(And(B(false), Eq(Div(I(1), I(0)), I(1))), {});
+  ASSERT_TRUE(sc.ok());
+  EXPECT_FALSE(sc->AsBool());
+}
+
+TEST(InterpTest, ForUnionFlattens) {
+  Value r = Value::Bag({Tup2("a", Value::Int(1), "b", Value::Int(10)),
+                        Tup2("a", Value::Int(2), "b", Value::Int(20))});
+  auto v = EvalIn(For("x", V("R"), SngTup({{"c", V("x.b")}})), {{"R", r}});
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsBag().elems.size(), 2u);
+  EXPECT_EQ(v->AsBag().elems[0].FieldOrDie("c").AsInt(), 10);
+}
+
+TEST(InterpTest, NestedLoopJoinWithIf) {
+  Value r = Value::Bag({Tup2("k", Value::Int(1), "a", Value::Str("x")),
+                        Tup2("k", Value::Int(2), "a", Value::Str("y"))});
+  Value s = Value::Bag({Tup2("k", Value::Int(1), "b", Value::Str("u")),
+                        Tup2("k", Value::Int(1), "b", Value::Str("v")),
+                        Tup2("k", Value::Int(3), "b", Value::Str("w"))});
+  ExprPtr q = For("x", V("R"),
+                  For("y", V("S"),
+                      If(Eq(V("x.k"), V("y.k")),
+                         SngTup({{"a", V("x.a")}, {"b", V("y.b")}}))));
+  auto v = EvalIn(q, {{"R", r}, {"S", s}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsBag().elems.size(), 2u);  // k=1 matches twice
+}
+
+TEST(InterpTest, UnionPreservesMultiplicity) {
+  Value a = Value::Bag({Value::Int(1), Value::Int(2)});
+  Value b = Value::Bag({Value::Int(2)});
+  auto v = EvalIn(Expr::Union(V("A"), V("B")), {{"A", a}, {"B", b}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsBag().elems.size(), 3u);
+}
+
+TEST(InterpTest, DedupSetsMultiplicityToOne) {
+  Value a = Value::Bag({Value::Int(1), Value::Int(2), Value::Int(2),
+                        Value::Int(1), Value::Int(1)});
+  auto v = EvalIn(Expr::Dedup(V("A")), {{"A", a}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsBag().elems.size(), 2u);
+}
+
+TEST(InterpTest, GroupByGroupsRemainingAttrs) {
+  Value r = Value::Bag({Tup2("k", Value::Int(1), "v", Value::Int(10)),
+                        Tup2("k", Value::Int(1), "v", Value::Int(11)),
+                        Tup2("k", Value::Int(2), "v", Value::Int(20))});
+  auto v = EvalIn(GroupBy({"k"}, V("R")), {{"R", r}});
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsBag().elems.size(), 2u);
+  const Value& g1 = v->AsBag().elems[0];
+  EXPECT_EQ(g1.FieldOrDie("k").AsInt(), 1);
+  EXPECT_EQ(g1.FieldOrDie("group").AsBag().elems.size(), 2u);
+}
+
+TEST(InterpTest, SumByAggregates) {
+  Value r = Value::Bag({Tup2("k", Value::Str("a"), "v", Value::Real(1.5)),
+                        Tup2("k", Value::Str("a"), "v", Value::Real(2.5)),
+                        Tup2("k", Value::Str("b"), "v", Value::Real(3.0))});
+  auto v = EvalIn(SumBy({"k"}, {"v"}, V("R")), {{"R", r}});
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsBag().elems.size(), 2u);
+  for (const auto& t : v->AsBag().elems) {
+    if (t.FieldOrDie("k").AsString() == "a") {
+      EXPECT_DOUBLE_EQ(t.FieldOrDie("v").AsReal(), 4.0);
+    } else {
+      EXPECT_DOUBLE_EQ(t.FieldOrDie("v").AsReal(), 3.0);
+    }
+  }
+}
+
+TEST(InterpTest, SumByKeepsIntegerType) {
+  Value r = Value::Bag({Tup2("k", Value::Int(1), "v", Value::Int(2)),
+                        Tup2("k", Value::Int(1), "v", Value::Int(3))});
+  auto v = EvalIn(SumBy({"k"}, {"v"}, V("R")), {{"R", r}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBag().elems[0].FieldOrDie("v").is_int());
+  EXPECT_EQ(v->AsBag().elems[0].FieldOrDie("v").AsInt(), 5);
+}
+
+TEST(InterpTest, IfWithoutElseYieldsEmptyBag) {
+  auto v = EvalIn(If(Lt(I(2), I(1)), Sng(I(1))), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_bag());
+  EXPECT_TRUE(v->AsBag().elems.empty());
+}
+
+TEST(InterpTest, GetOnSingleton) {
+  auto v = EvalIn(Expr::Get(Sng(I(42))), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+}
+
+TEST(InterpTest, LabelsStructuralEquality) {
+  // NewLabel with equal captured values compares equal.
+  ExprPtr l1 = Expr::NewLabel({{"k", I(7)}});
+  ExprPtr l2 = Expr::NewLabel({{"k", I(7)}});
+  auto v = EvalIn(Eq(l1, l2), {});
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_TRUE(v->AsBool());
+  auto w = EvalIn(Eq(Expr::NewLabel({{"k", I(7)}}), Expr::NewLabel({{"k", I(8)}})),
+               {});
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(w->AsBool());
+}
+
+TEST(InterpTest, LabelCollapseRule) {
+  // NewLabel over a single label parameter is that label.
+  Value inner = Value::Label({{"id", Value::Int(3)}});
+  ExprPtr e = Eq(Expr::NewLabel({{"wrapped", V("l")}}), V("l"));
+  auto v = EvalIn(e, {{"l", inner}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+}
+
+TEST(InterpTest, MatchLabelBindsParams) {
+  // match l = NewLabel(x) then {<k := x.k>}
+  ExprPtr body = SngTup({{"k", V("x.k")}});
+  ExprPtr e = Expr::MatchLabel(V("l"), "x", body);
+  Value lab = Value::Label({{"k", Value::Int(9)}});
+  auto v = EvalIn(e, {{"l", lab}});
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsBag().elems.size(), 1u);
+  EXPECT_EQ(v->AsBag().elems[0].FieldOrDie("k").AsInt(), 9);
+}
+
+TEST(InterpTest, MatchLabelMismatchYieldsEmptyBag) {
+  ExprPtr body = SngTup({{"k", V("x.nope")}});
+  ExprPtr e = Expr::MatchLabel(V("l"), "x", body);
+  Value lab = Value::Label({{"k", Value::Int(9)}});
+  auto v = EvalIn(e, {{"l", lab}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBag().elems.empty());
+}
+
+TEST(InterpTest, LambdaLookupBetaReduces) {
+  // (lambda l. { <x := 1> })(some label)
+  ExprPtr lam = Expr::Lambda("l", SngTup({{"x", I(1)}}));
+  ExprPtr e = Expr::Lookup(lam, Expr::NewLabel({{"k", I(1)}}));
+  auto v = EvalIn(e, {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsBag().elems.size(), 1u);
+}
+
+TEST(InterpTest, MatLookupScansLabelValuePairs) {
+  Value lab1 = Value::Label({{"id", Value::Int(1)}});
+  Value lab2 = Value::Label({{"id", Value::Int(2)}});
+  Value dict = Value::Bag(
+      {Tup2("label", lab1, "value", Value::Bag({Value::Int(10)})),
+       Tup2("label", lab2, "value", Value::Bag({Value::Int(20)})),
+       Tup2("label", lab1, "value", Value::Bag({Value::Int(11)}))});
+  auto v = EvalIn(Expr::MatLookup(V("D"), V("l")), {{"D", dict}, {"l", lab1}});
+  ASSERT_TRUE(v.ok());
+  // Both entries for lab1 union together.
+  EXPECT_EQ(v->AsBag().elems.size(), 2u);
+}
+
+TEST(InterpTest, EvalProgramSequencesAssignments) {
+  Program p;
+  p.inputs.push_back({"R", BagTu({{"a", Type::Int()}})});
+  p.assignments.push_back(
+      {"X", For("r", V("R"), SngTup({{"a", Add(V("r.a"), I(1))}}))});
+  p.assignments.push_back(
+      {"Y", For("x", V("X"), SngTup({{"a", Mul(V("x.a"), I(2))}}))});
+  Interpreter interp;
+  Value r = Value::Bag({Value::Tuple({{"a", Value::Int(1)}}),
+                        Value::Tuple({{"a", Value::Int(2)}})});
+  auto out = interp.EvalProgram(p, {{"R", r}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const Value& y = out->at("Y");
+  ASSERT_EQ(y.AsBag().elems.size(), 2u);
+  std::vector<int64_t> got;
+  for (const auto& t : y.AsBag().elems) {
+    got.push_back(t.FieldOrDie("a").AsInt());
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int64_t>{4, 6}));
+}
+
+TEST(InterpTest, DeepBagEqualsIgnoresOrder) {
+  Value a = Value::Bag({Value::Int(1), Value::Int(2)});
+  Value b = Value::Bag({Value::Int(2), Value::Int(1)});
+  EXPECT_TRUE(DeepBagEquals(a, b));
+  Value c = Value::Bag({Value::Int(2), Value::Int(2)});
+  EXPECT_FALSE(DeepBagEquals(a, c));
+  // Nested bags compare as multisets too.
+  Value n1 = Value::Bag({Value::Tuple({{"g", a}})});
+  Value n2 = Value::Bag({Value::Tuple({{"g", b}})});
+  EXPECT_TRUE(DeepBagEquals(n1, n2));
+}
+
+TEST(InterpTest, RunningExampleEndToEnd) {
+  // Example 1 on a small instance.
+  auto part = Value::Bag(
+      {Value::Tuple({{"pid", Value::Int(1)},
+                     {"pname", Value::Str("bolt")},
+                     {"price", Value::Real(2.0)}}),
+       Value::Tuple({{"pid", Value::Int(2)},
+                     {"pname", Value::Str("nut")},
+                     {"price", Value::Real(1.0)}})});
+  auto oparts1 = Value::Bag(
+      {Tup2("pid", Value::Int(1), "qty", Value::Real(3.0)),
+       Tup2("pid", Value::Int(2), "qty", Value::Real(4.0)),
+       Tup2("pid", Value::Int(1), "qty", Value::Real(1.0))});
+  auto corders = Value::Bag(
+      {Tup2("odate", Value::Int(100), "oparts", oparts1),
+       Tup2("odate", Value::Int(200), "oparts", Value::EmptyBag())});
+  auto cop = Value::Bag({Tup2("cname", Value::Str("alice"), "corders",
+                              corders),
+                         Tup2("cname", Value::Str("bob"), "corders",
+                              Value::EmptyBag())});
+
+  ExprPtr q = For(
+      "cop", V("COP"),
+      SngTup(
+          {{"cname", V("cop.cname")},
+           {"corders",
+            For("co", V("cop.corders"),
+                SngTup({{"odate", V("co.odate")},
+                        {"oparts",
+                         SumBy({"pname"}, {"total"},
+                               For("op", V("co.oparts"),
+                                   For("p", V("Part"),
+                                       If(Eq(V("op.pid"), V("p.pid")),
+                                          SngTup({{"pname", V("p.pname")},
+                                                  {"total",
+                                                   Mul(V("op.qty"),
+                                                       V("p.price"))}})))))}}))}}));
+  auto v = EvalIn(q, {{"COP", cop}, {"Part", part}});
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->AsBag().elems.size(), 2u);
+  // alice keeps both orders; the empty order yields an empty oparts bag.
+  for (const auto& c : v->AsBag().elems) {
+    if (c.FieldOrDie("cname").AsString() == "alice") {
+      const auto& ords = c.FieldOrDie("corders").AsBag().elems;
+      ASSERT_EQ(ords.size(), 2u);
+      for (const auto& o : ords) {
+        if (o.FieldOrDie("odate").AsInt() == 100) {
+          const auto& parts = o.FieldOrDie("oparts").AsBag().elems;
+          ASSERT_EQ(parts.size(), 2u);
+          for (const auto& pt : parts) {
+            if (pt.FieldOrDie("pname").AsString() == "bolt") {
+              EXPECT_DOUBLE_EQ(pt.FieldOrDie("total").AsReal(), 8.0);
+            } else {
+              EXPECT_DOUBLE_EQ(pt.FieldOrDie("total").AsReal(), 4.0);
+            }
+          }
+        } else {
+          EXPECT_TRUE(o.FieldOrDie("oparts").AsBag().elems.empty());
+        }
+      }
+    } else {
+      EXPECT_TRUE(c.FieldOrDie("corders").AsBag().elems.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nrc
+}  // namespace trance
