@@ -103,16 +103,23 @@ int main() {
   using namespace trance;
   using namespace trance::bench;
 
+  EnableBenchObservability();
+  std::vector<RunResult> all;
+  auto rec = [&all](RunResult r) {
+    PrintResult(r);
+    all.push_back(std::move(r));
+  };
+
   // 1. Domain elimination.
   {
     PrintHeader("Ablation 1: domain elimination (shredded nested-to-nested d2)");
     Prepared p = Prepare(2, 0.0);
     auto q = tpch::NestedToNested(2, tpch::Width::kNarrow).ValueOrDie();
     auto ccfg = BenchClusterConfig(8, kCap, 48 << 10);
-    PrintResult(RunShred("domain elimination ON (rules 1/2/3)", p, q, {},
-                         shred::MaterializeMode::kDomainElimination, ccfg));
-    PrintResult(RunShred("domain elimination OFF (Fig. 5 label domains)", p,
-                         q, {}, shred::MaterializeMode::kBaseline, ccfg));
+    rec(RunShred("domain elimination ON (rules 1/2/3)", p, q, {},
+                 shred::MaterializeMode::kDomainElimination, ccfg));
+    rec(RunShred("domain elimination OFF (Fig. 5 label domains)", p,
+                 q, {}, shred::MaterializeMode::kBaseline, ccfg));
   }
 
   // 2. Cogroup fusion.
@@ -121,11 +128,11 @@ int main() {
     Prepared p = Prepare(2, 0.0);
     auto q = tpch::FlatToNested(2, tpch::Width::kNarrow).ValueOrDie();
     exec::PipelineOptions on;
-    PrintResult(RunStd("cogroup fusion ON", p, q, on, false));
+    rec(RunStd("cogroup fusion ON", p, q, on, false));
     exec::PipelineOptions off;
     off.optimizer.enable_cogroup = false;
-    PrintResult(RunStd("cogroup fusion OFF (the SparkSQL restriction)", p, q,
-                       off, false));
+    rec(RunStd("cogroup fusion OFF (the SparkSQL restriction)", p, q,
+               off, false));
   }
 
   // 3. Map-side combine.
@@ -134,10 +141,10 @@ int main() {
     Prepared p = Prepare(2, 0.0);
     auto q = tpch::NestedToFlat(2, tpch::Width::kNarrow).ValueOrDie();
     exec::PipelineOptions on;
-    PrintResult(RunStd("map-side combine ON", p, q, on, true));
+    rec(RunStd("map-side combine ON", p, q, on, true));
     exec::PipelineOptions off;
     off.exec.map_side_combine = false;
-    PrintResult(RunStd("map-side combine OFF", p, q, off, true));
+    rec(RunStd("map-side combine OFF", p, q, off, true));
   }
 
   // 4. Aggregation pushdown on skewed data.
@@ -149,10 +156,10 @@ int main() {
     auto ccfg = BenchClusterConfig(8, kCap, 48 << 10);
     exec::PipelineOptions on;
     on.optimizer.enable_agg_pushdown = true;
-    PrintResult(RunShred("agg pushdown ON", p, q, on,
-                         shred::MaterializeMode::kDomainElimination, ccfg));
-    PrintResult(RunShred("agg pushdown OFF", p, q, {},
-                         shred::MaterializeMode::kDomainElimination, ccfg));
+    rec(RunShred("agg pushdown ON", p, q, on,
+                 shred::MaterializeMode::kDomainElimination, ccfg));
+    rec(RunShred("agg pushdown OFF", p, q, {},
+                 shred::MaterializeMode::kDomainElimination, ccfg));
   }
 
   // 5. Column pruning.
@@ -162,12 +169,12 @@ int main() {
     auto q = tpch::NestedToFlat(4, tpch::Width::kNarrow).ValueOrDie();
     auto ccfg = BenchClusterConfig(8, kCap, 48 << 10);
     exec::PipelineOptions on;
-    PrintResult(RunShred("column pruning ON", p, q, on,
-                         shred::MaterializeMode::kDomainElimination, ccfg));
+    rec(RunShred("column pruning ON", p, q, on,
+                 shred::MaterializeMode::kDomainElimination, ccfg));
     exec::PipelineOptions off;
     off.optimizer.enable_column_pruning = false;
-    PrintResult(RunShred("column pruning OFF", p, q, off,
-                         shred::MaterializeMode::kDomainElimination, ccfg));
+    rec(RunShred("column pruning OFF", p, q, off,
+                 shred::MaterializeMode::kDomainElimination, ccfg));
   }
 
   // 6. Heavy-key threshold sweep.
@@ -181,10 +188,11 @@ int main() {
       ccfg.heavy_key_threshold = threshold;
       exec::PipelineOptions opts;
       opts.exec.skew_aware = true;
-      PrintResult(RunShred("threshold " + FormatDouble(threshold, 3), p, q,
-                           opts, shred::MaterializeMode::kDomainElimination,
-                           ccfg));
+      rec(RunShred("threshold " + FormatDouble(threshold, 3), p, q,
+                   opts, shred::MaterializeMode::kDomainElimination,
+                   ccfg));
     }
   }
+  TRANCE_CHECK(WriteBenchReport("ablations", all).ok(), "bench report");
   return 0;
 }

@@ -2,7 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -91,16 +95,23 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   RunResult r;
   r.name = name;
   cluster->stats().Reset();
-  Stopwatch watch;
-  Status st = body();
-  r.wall_s = watch.ElapsedSeconds();
+  obs::Tracer* tracer = &obs::Tracer::Global();
+  Status st;
+  {
+    obs::Tracer::Span run_span(tracer, "run:" + name);
+    Stopwatch watch;
+    st = body();
+    r.wall_s = watch.ElapsedSeconds();
+  }
   const auto& stats = cluster->stats();
   r.sim_s = stats.sim_seconds();
   r.shuffle_bytes = stats.total_shuffle_bytes();
   r.max_stage_shuffle = stats.max_stage_shuffle_bytes();
   r.peak_partition = stats.peak_partition_bytes();
+  r.stats = stats;
   r.ok = st.ok();
   if (!st.ok()) r.fail_reason = st.ToString();
+  obs::AppendJobStagesToTrace(stats, tracer, name);
   return r;
 }
 
@@ -129,6 +140,73 @@ std::string Ratio(const RunResult& num, const RunResult& den,
   double v = static_cast<double>(num.*field) /
              static_cast<double>(den.*field);
   return FormatDouble(v, 1) + "x";
+}
+
+void EnableBenchObservability() {
+  obs::Tracer::Global().set_enabled(true);
+  obs::Tracer::Global().Clear();
+}
+
+namespace {
+
+std::string BenchOutPath(const std::string& file) {
+  const char* dir = std::getenv("TRANCE_BENCH_OUT");
+  std::string d = (dir != nullptr && *dir != '\0') ? dir : ".";
+  if (d.back() != '/') d += '/';
+  return d + file;
+}
+
+}  // namespace
+
+Status WriteBenchReport(const std::string& bench_name,
+                        const std::vector<RunResult>& results) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(bench_name);
+  w.Key("runs");
+  w.BeginArray();
+  for (const auto& r : results) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(r.name);
+    w.Key("ok");
+    w.Bool(r.ok);
+    if (!r.ok) {
+      w.Key("fail_reason");
+      w.String(r.fail_reason);
+    }
+    w.Key("wall_seconds");
+    w.Number(r.wall_s);
+    w.Key("sim_seconds");
+    w.Number(r.sim_s);
+    w.Key("shuffle_bytes");
+    w.Uint(r.shuffle_bytes);
+    w.Key("max_stage_shuffle_bytes");
+    w.Uint(r.max_stage_shuffle);
+    w.Key("peak_partition_bytes");
+    w.Uint(r.peak_partition);
+    w.Key("out_rows");
+    w.Uint(r.out_rows);
+    w.Key("job");
+    obs::WriteJobStats(r.stats, &w);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::string metrics_path = BenchOutPath("BENCH_" + bench_name + ".json");
+  TRANCE_RETURN_NOT_OK(obs::WriteFile(metrics_path, w.str()));
+  std::printf("wrote %s\n", metrics_path.c_str());
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    std::string trace_path =
+        BenchOutPath("BENCH_" + bench_name + "_trace.json");
+    TRANCE_RETURN_NOT_OK(
+        obs::WriteFile(trace_path, tracer.ToChromeTraceJson()));
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  return Status::OK();
 }
 
 }  // namespace bench

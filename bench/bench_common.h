@@ -34,6 +34,9 @@ struct RunResult {
   uint64_t max_stage_shuffle = 0;
   uint64_t peak_partition = 0;
   size_t out_rows = 0;
+  /// Full per-stage telemetry of the run (partition histograms, movement
+  /// decisions, straggler summary) for the JSON bench report.
+  runtime::JobStats stats;
 };
 
 /// The evaluation strategies of Section 6.
@@ -81,6 +84,21 @@ void PrintResult(const RunResult& r);
 /// Ratio helper for the shuffle-comparison tables ("n/a" on zero/FAIL).
 std::string Ratio(const RunResult& num, const RunResult& den,
                   uint64_t RunResult::*field);
+
+// --- Observability hooks -------------------------------------------------
+
+/// Turns on obs::Tracer::Global() so TimedRun records one span per run and
+/// the per-stage trace events land on the runtime track. Benchmarks call
+/// this at the top of main(); it is honor-the-env cheap otherwise.
+void EnableBenchObservability();
+
+/// Writes BENCH_<name>.json (machine-readable run metrics: per-run scalars
+/// plus per-stage partition-load percentile summaries) and, when tracing is
+/// enabled, BENCH_<name>_trace.json (Chrome trace_event format, loadable in
+/// chrome://tracing or Perfetto). Output directory comes from the
+/// TRANCE_BENCH_OUT env var (default: current directory).
+Status WriteBenchReport(const std::string& bench_name,
+                        const std::vector<RunResult>& results);
 
 }  // namespace bench
 }  // namespace trance

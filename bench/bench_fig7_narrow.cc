@@ -3,9 +3,12 @@
 #include "fig7_harness.h"
 
 int main() {
+  trance::bench::EnableBenchObservability();
   trance::bench::Fig7Config cfg;
   cfg.width = trance::tpch::Width::kNarrow;
   cfg.partition_memory_cap = 700ull << 10;
-  trance::bench::RunFig7(cfg);
+  auto results = trance::bench::RunFig7(cfg);
+  TRANCE_CHECK(trance::bench::WriteBenchReport("fig7_narrow", results).ok(),
+               "bench report");
   return 0;
 }

@@ -3,9 +3,12 @@
 #include "fig7_harness.h"
 
 int main() {
+  trance::bench::EnableBenchObservability();
   trance::bench::Fig7Config cfg;
   cfg.width = trance::tpch::Width::kWide;
   cfg.partition_memory_cap = 2ull << 20;
-  trance::bench::RunFig7(cfg);
+  auto results = trance::bench::RunFig7(cfg);
+  TRANCE_CHECK(trance::bench::WriteBenchReport("fig7_wide", results).ok(),
+               "bench report");
   return 0;
 }

@@ -147,6 +147,9 @@ std::vector<RunResult> RunFig8() {
 }  // namespace trance
 
 int main() {
-  trance::bench::RunFig8();
+  trance::bench::EnableBenchObservability();
+  auto results = trance::bench::RunFig8();
+  TRANCE_CHECK(trance::bench::WriteBenchReport("fig8_skew", results).ok(),
+               "bench report");
   return 0;
 }

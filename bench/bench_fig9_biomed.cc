@@ -3,6 +3,7 @@
 // its own per-step outputs; once a step FAILs, the rest of that route's
 // pipeline is dead (as in the paper, where Standard and SparkSQL fail during
 // Step2 on the full dataset while Shred survives the whole pipeline).
+#include <iterator>
 #include <optional>
 
 #include "bench_common.h"
@@ -69,8 +70,10 @@ Status RegisterShreddedNestedInput(exec::Executor* executor,
 
 }  // namespace
 
-void RunDataset(const char* label, const biomed::BiomedConfig& cfg,
-                uint64_t cap) {
+std::vector<RunResult> RunDataset(const char* label,
+                                  const biomed::BiomedConfig& cfg,
+                                  uint64_t cap) {
+  std::vector<RunResult> all;
   biomed::BiomedData data = biomed::Generate(cfg);
   const Strategy kStrategies[] = {Strategy::kSparkSql, Strategy::kStandard,
                                   Strategy::kShred};
@@ -100,6 +103,7 @@ void RunDataset(const char* label, const biomed::BiomedConfig& cfg,
         r.ok = false;
         r.fail_reason = "pipeline dead: " + dead_reason;
         PrintResult(r);
+        all.push_back(std::move(r));
         continue;
       }
       auto program = biomed::StepProgram(step).ValueOrDie();
@@ -131,6 +135,7 @@ void RunDataset(const char* label, const biomed::BiomedConfig& cfg,
         dead = true;
         dead_reason = "Step" + std::to_string(step) + " " + r.fail_reason;
       }
+      all.push_back(std::move(r));
     }
     std::printf("%-44s %9s %9.2f\n",
                 (std::string(label) + " TOTAL " + StrategyName(s) +
@@ -138,6 +143,7 @@ void RunDataset(const char* label, const biomed::BiomedConfig& cfg,
                     .c_str(),
                 "", total);
   }
+  return all;
 }
 
 }  // namespace bench
@@ -145,10 +151,16 @@ void RunDataset(const char* label, const biomed::BiomedConfig& cfg,
 
 int main() {
   using namespace trance;
+  bench::EnableBenchObservability();
   bench::PrintHeader("Figure 9: biomedical end-to-end pipeline (E2E)");
   biomed::BiomedConfig small = biomed::BiomedConfig::Small();
   biomed::BiomedConfig full = biomed::BiomedConfig::Full();
-  bench::RunDataset("small", small, 3ull << 20);
-  bench::RunDataset("full", full, 3ull << 20);
+  auto results = bench::RunDataset("small", small, 3ull << 20);
+  auto full_results = bench::RunDataset("full", full, 3ull << 20);
+  results.insert(results.end(),
+                 std::make_move_iterator(full_results.begin()),
+                 std::make_move_iterator(full_results.end()));
+  TRANCE_CHECK(bench::WriteBenchReport("fig9_biomed", results).ok(),
+               "bench report");
   return 0;
 }

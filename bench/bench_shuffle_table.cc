@@ -48,6 +48,7 @@ int main() {
   using namespace trance;
   using namespace trance::bench;
 
+  EnableBenchObservability();
   Fig7Config narrow;
   narrow.width = tpch::Width::kNarrow;
   narrow.partition_memory_cap = 64ull << 20;  // uncapped: measure volumes
@@ -75,5 +76,9 @@ int main() {
   std::printf(
       "\n(skew join shuffle reductions: see bench_fig8_skew — SHRED vs "
       "SHRED_SKEW at skew 2 and 4)\n");
+
+  std::vector<RunResult> all = nruns;
+  all.insert(all.end(), wruns.begin(), wruns.end());
+  TRANCE_CHECK(WriteBenchReport("shuffle_table", all).ok(), "bench report");
   return 0;
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI-style sanitizer pass: builds the tree with TRANCE_SANITIZE=ON
+# (ASan + UBSan) into its own build directory and runs the fast
+# observability suite (ctest label `obs`) under the sanitizers.
+#
+# Usage: ci/sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=ON
+cmake --build "$BUILD_DIR" --target obs_test -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure -j"$(nproc)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/scalar_compiler.h"
+#include "obs/explain.h"
 
 namespace trance {
 namespace exec {
@@ -119,6 +120,8 @@ StatusOr<std::string> Executor::ExecuteProgram(
     const plan::PlanProgram& program) {
   std::string last;
   for (const auto& a : program.assignments) {
+    scope_var_ = a.var;
+    next_node_id_ = 0;
     TRANCE_ASSIGN_OR_RETURN(SkewTriple t, Exec(a.plan));
     registry_[a.var] = std::move(t);
     last = a.var;
@@ -128,6 +131,10 @@ StatusOr<std::string> Executor::ExecuteProgram(
 }
 
 StatusOr<SkewTriple> Executor::Exec(const plan::PlanPtr& p) {
+  // Pre-order node numbering within the current assignment; every stage the
+  // node's operators record is attributed to this scope.
+  runtime::StageScope stage_scope(
+      cluster_, obs::StageScopeName(scope_var_, next_node_id_++));
   using K = PlanNode::Kind;
   switch (p->kind()) {
     case K::kScan:

@@ -68,6 +68,12 @@ class Executor {
   runtime::Cluster* cluster_;
   ExecOptions options_;
   std::map<std::string, skew::SkewTriple> registry_;
+  /// Plan-node attribution for EXPLAIN ANALYZE: every Exec() pushes a
+  /// cluster scope named obs::StageScopeName(scope_var_, pre-order index);
+  /// ExecuteProgram resets the numbering per assignment so the explain
+  /// re-walk can join stages back onto operators.
+  std::string scope_var_;
+  int next_node_id_ = 0;
 };
 
 }  // namespace exec

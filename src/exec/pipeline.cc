@@ -3,6 +3,7 @@
 #include <set>
 
 #include "exec/bridge.h"
+#include "obs/trace.h"
 #include "plan/unnest.h"
 #include "nrc/typecheck.h"
 #include "plan/unnest.h"
@@ -10,20 +11,39 @@
 namespace trance {
 namespace exec {
 
+namespace {
+using TraceSpan = obs::Tracer::Span;
+obs::Tracer* Trc() { return &obs::Tracer::Global(); }
+}  // namespace
+
 StatusOr<runtime::Dataset> RunStandard(const nrc::Program& program,
                                        Executor* executor,
-                                       const PipelineOptions& options) {
-  nrc::Typechecker tc;
-  TRANCE_ASSIGN_OR_RETURN(nrc::TypeEnv env, tc.CheckProgram(program));
+                                       const PipelineOptions& options,
+                                       plan::PlanProgram* compiled_out) {
+  TraceSpan pipeline_span(Trc(), "standard_pipeline");
+  nrc::TypeEnv env;
+  {
+    TraceSpan span(Trc(), "typecheck");
+    nrc::Typechecker tc;
+    TRANCE_ASSIGN_OR_RETURN(env, tc.CheckProgram(program));
+  }
 
-  nrc::TypeEnv input_env;
-  for (const auto& in : program.inputs) input_env[in.name] = in.type;
-  plan::Unnester unnester(input_env);
-  TRANCE_ASSIGN_OR_RETURN(plan::PlanProgram plans,
-                          unnester.CompileProgram(program));
-  TRANCE_ASSIGN_OR_RETURN(
-      plans, plan::OptimizeProgram(plans, env, options.optimizer));
+  plan::PlanProgram plans;
+  {
+    TraceSpan span(Trc(), "unnest");
+    nrc::TypeEnv input_env;
+    for (const auto& in : program.inputs) input_env[in.name] = in.type;
+    plan::Unnester unnester(input_env);
+    TRANCE_ASSIGN_OR_RETURN(plans, unnester.CompileProgram(program));
+  }
+  {
+    TraceSpan span(Trc(), "optimize");
+    TRANCE_ASSIGN_OR_RETURN(
+        plans, plan::OptimizeProgram(plans, env, options.optimizer));
+  }
+  if (compiled_out != nullptr) *compiled_out = plans;
 
+  TraceSpan span(Trc(), "execute");
   TRANCE_ASSIGN_OR_RETURN(std::string final_var,
                           executor->ExecuteProgram(plans));
   return executor->GetDataset(final_var);
@@ -81,24 +101,39 @@ Status RegisterShreddedInput(Executor* executor, const std::string& name,
 StatusOr<ShreddedRun> RunShredded(const nrc::Program& program,
                                   Executor* executor,
                                   const PipelineOptions& options,
-                                  shred::MaterializeMode mode) {
-  TRANCE_ASSIGN_OR_RETURN(shred::MaterializedProgram mat,
-                          shred::ShredAndMaterialize(program, mode));
+                                  shred::MaterializeMode mode,
+                                  plan::PlanProgram* compiled_out) {
+  TraceSpan pipeline_span(Trc(), "shredded_pipeline");
+  shred::MaterializedProgram mat;
+  {
+    TraceSpan span(Trc(), "shred_materialize");
+    TRANCE_ASSIGN_OR_RETURN(mat, shred::ShredAndMaterialize(program, mode));
+  }
   if (mat.interpreter_only) {
     return Status::NotImplemented(
         "baseline materialization kept a match construct; only the "
         "interpreter can evaluate this program");
   }
-  nrc::Typechecker tc;
-  TRANCE_ASSIGN_OR_RETURN(nrc::TypeEnv env, tc.CheckProgram(mat.program));
+  nrc::TypeEnv env;
+  {
+    TraceSpan span(Trc(), "typecheck");
+    nrc::Typechecker tc;
+    TRANCE_ASSIGN_OR_RETURN(env, tc.CheckProgram(mat.program));
+  }
 
-  nrc::TypeEnv input_env;
-  for (const auto& in : mat.program.inputs) input_env[in.name] = in.type;
-  plan::Unnester unnester(input_env);
-  TRANCE_ASSIGN_OR_RETURN(plan::PlanProgram plans,
-                          unnester.CompileProgram(mat.program));
-  TRANCE_ASSIGN_OR_RETURN(plans,
-                          plan::OptimizeProgram(plans, env, options.optimizer));
+  plan::PlanProgram plans;
+  {
+    TraceSpan span(Trc(), "unnest");
+    nrc::TypeEnv input_env;
+    for (const auto& in : mat.program.inputs) input_env[in.name] = in.type;
+    plan::Unnester unnester(input_env);
+    TRANCE_ASSIGN_OR_RETURN(plans, unnester.CompileProgram(mat.program));
+  }
+  {
+    TraceSpan span(Trc(), "optimize");
+    TRANCE_ASSIGN_OR_RETURN(
+        plans, plan::OptimizeProgram(plans, env, options.optimizer));
+  }
 
   // Dictionary assignments get the BagToDict cast: label partitioning
   // guarantee, skew-aware in skew mode (Fig. 6).
@@ -109,7 +144,9 @@ StatusOr<ShreddedRun> RunShredded(const nrc::Program& program,
       a.plan = plan::PlanNode::BagToDict(a.plan, "label");
     }
   }
+  if (compiled_out != nullptr) *compiled_out = plans;
 
+  TraceSpan span(Trc(), "execute");
   TRANCE_ASSIGN_OR_RETURN(std::string final_var,
                           executor->ExecuteProgram(plans));
   (void)final_var;
@@ -125,6 +162,7 @@ StatusOr<ShreddedRun> RunShredded(const nrc::Program& program,
 
 StatusOr<runtime::Dataset> UnshredRun(Executor* executor,
                                       const ShreddedRun& run) {
+  TraceSpan span(Trc(), "unshred");
   runtime::Cluster* cluster = executor->cluster();
   TRANCE_ASSIGN_OR_RETURN(std::vector<shred::DictEntry> walk,
                           shred::DictTreeWalk(run.output_type));

@@ -34,10 +34,15 @@ struct PipelineOptions {
 
 /// Compiles `program` through unnesting + optimization and executes it on
 /// `executor` (inputs must be registered under the program's input names).
-/// Returns the final assignment's dataset.
+/// Returns the final assignment's dataset. When `compiled_out` is non-null
+/// it receives the optimized plan program actually executed (the input to
+/// obs::ExplainAnalyze). Compilation phases and execution emit nested spans
+/// on obs::Tracer::Global() when tracing is enabled.
 StatusOr<runtime::Dataset> RunStandard(const nrc::Program& program,
                                        Executor* executor,
-                                       const PipelineOptions& options);
+                                       const PipelineOptions& options,
+                                       plan::PlanProgram* compiled_out =
+                                           nullptr);
 
 /// Convenience for tests: feeds nested nrc::Values as inputs, runs the
 /// standard route on a fresh executor over `cluster`, and converts the
@@ -73,7 +78,8 @@ StatusOr<ShreddedRun> RunShredded(const nrc::Program& program,
                                   Executor* executor,
                                   const PipelineOptions& options,
                                   shred::MaterializeMode mode =
-                                      shred::MaterializeMode::kDomainElimination);
+                                      shred::MaterializeMode::kDomainElimination,
+                                  plan::PlanProgram* compiled_out = nullptr);
 
 /// Restores the nested output from a shredded run: bottom-up cogroups of
 /// each dictionary with its parent on labels (the regrouping whose cost the

@@ -1,0 +1,171 @@
+#include "obs/explain.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "plan/printer.h"
+#include "util/strings.h"
+
+namespace trance {
+namespace obs {
+
+namespace {
+
+using runtime::StageStats;
+
+/// Stats of one plan operator, aggregated over the stages it recorded (a
+/// node may record several: e.g. a skew-aware join records split + light +
+/// heavy stages).
+struct NodeStats {
+  std::vector<const StageStats*> stages;
+
+  bool empty() const { return stages.empty(); }
+  uint64_t rows_out() const {
+    return stages.empty() ? 0 : stages.back()->rows_out;
+  }
+  uint64_t shuffle_bytes() const {
+    uint64_t s = 0;
+    for (const auto* st : stages) s += st->shuffle_bytes;
+    return s;
+  }
+  double sim_seconds() const {
+    double s = 0;
+    for (const auto* st : stages) s += st->sim_seconds;
+    return s;
+  }
+  double straggler() const {
+    double worst = 1.0;
+    for (const auto* st : stages) {
+      double f = st->ImbalanceFactor();
+      if (f > worst) worst = f;
+    }
+    return worst;
+  }
+  uint64_t heavy_keys() const {
+    uint64_t n = 0;
+    for (const auto* st : stages) n += st->heavy_key_count;
+    return n;
+  }
+  /// Movement modes used, deduplicated, in first-use order.
+  std::string movements() const {
+    std::vector<std::string> seen;
+    for (const auto* st : stages) {
+      std::string m = runtime::DataMovementName(st->movement);
+      bool dup = false;
+      for (const auto& s : seen) dup = dup || s == m;
+      if (!dup) seen.push_back(std::move(m));
+    }
+    return Join(seen, "+");
+  }
+  /// Work histogram of the dominant (largest total work) stage.
+  const std::vector<uint64_t>* dominant_work() const {
+    const StageStats* best = nullptr;
+    for (const auto* st : stages) {
+      if (st->partition_work_bytes.empty()) continue;
+      if (best == nullptr || st->total_work_bytes > best->total_work_bytes) {
+        best = st;
+      }
+    }
+    return best == nullptr ? nullptr : &best->partition_work_bytes;
+  }
+};
+
+std::string StatsSuffix(const NodeStats& ns) {
+  if (ns.empty()) return "  [no stages recorded]";
+  std::ostringstream os;
+  os << "  [rows=" << ns.rows_out()
+     << " shuffle=" << FormatBytes(ns.shuffle_bytes())
+     << " mode=" << ns.movements()
+     << " straggler=" << FormatDouble(ns.straggler(), 2) << "x";
+  if (const std::vector<uint64_t>* work = ns.dominant_work()) {
+    LoadSummary ls = SummarizeLoads(*work);
+    os << " work(p50/p95/max)=" << FormatBytes(ls.p50) << "/"
+       << FormatBytes(ls.p95) << "/" << FormatBytes(ls.max);
+  }
+  if (ns.heavy_keys() > 0) os << " heavy_keys=" << ns.heavy_keys();
+  os << " sim=" << FormatDouble(ns.sim_seconds(), 3) << "s]";
+  return os.str();
+}
+
+void Walk(const plan::PlanPtr& p, const std::string& var, int depth,
+          int* next_index,
+          const std::map<std::string, NodeStats>& by_scope,
+          std::ostringstream* os) {
+  int index = (*next_index)++;
+  std::string scope = StageScopeName(var, index);
+  std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  auto it = by_scope.find(scope);
+  *os << pad << plan::NodeLabel(p)
+      << (it == by_scope.end() ? StatsSuffix(NodeStats{})
+                               : StatsSuffix(it->second))
+      << "\n";
+  for (size_t i = 0; i < p->num_children(); ++i) {
+    Walk(p->child(i), var, depth + 1, next_index, by_scope, os);
+  }
+}
+
+}  // namespace
+
+std::string StageScopeName(const std::string& var, int node_index) {
+  return var + "#" + std::to_string(node_index);
+}
+
+std::string ExplainAnalyze(const plan::PlanProgram& program,
+                           const runtime::JobStats& stats) {
+  // Group stages by their recorded scope. A scan node re-executes nothing on
+  // its own, so scopes may legitimately be missing from the map.
+  std::map<std::string, NodeStats> by_scope;
+  std::set<std::string> known_scopes;
+  for (const auto& s : stats.stages()) {
+    if (!s.scope.empty()) by_scope[s.scope].stages.push_back(&s);
+  }
+
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE\n";
+  for (const auto& a : program.assignments) {
+    os << a.var << " <=\n";
+    int next_index = 0;
+    Walk(a.plan, a.var, 1, &next_index, by_scope, &os);
+    for (int i = 0; i < next_index; ++i) {
+      known_scopes.insert(StageScopeName(a.var, i));
+    }
+  }
+
+  // Stages recorded outside any plan operator (input sources, unshredding,
+  // merged-triple unions) plus scopes that did not match the walked trees.
+  std::vector<const StageStats*> unattributed;
+  for (const auto& s : stats.stages()) {
+    if (s.scope.empty() || known_scopes.count(s.scope) == 0) {
+      unattributed.push_back(&s);
+    }
+  }
+  if (!unattributed.empty()) {
+    os << "unattributed stages:\n";
+    for (const auto* s : unattributed) {
+      os << "  " << s->op << "  [rows=" << s->rows_out
+         << " shuffle=" << FormatBytes(s->shuffle_bytes)
+         << " mode=" << runtime::DataMovementName(s->movement)
+         << " straggler=" << FormatDouble(s->ImbalanceFactor(), 2) << "x"
+         << " sim=" << FormatDouble(s->sim_seconds, 3) << "s]\n";
+    }
+  }
+
+  runtime::StragglerSummary sk = stats.straggler();
+  os << "job: stages=" << stats.stages().size()
+     << " shuffle=" << FormatBytes(stats.total_shuffle_bytes())
+     << " max_stage_shuffle=" << FormatBytes(stats.max_stage_shuffle_bytes())
+     << " peak_partition=" << FormatBytes(stats.peak_partition_bytes())
+     << " max_partition_recv=" << FormatBytes(sk.max_partition_recv_bytes)
+     << " max_partition_work=" << FormatBytes(sk.max_partition_work_bytes)
+     << " straggler=" << FormatDouble(sk.worst_imbalance, 2) << "x"
+     << (sk.worst_stage.empty() ? "" : "@" + sk.worst_stage)
+     << " heavy_keys=" << sk.heavy_key_count
+     << " sim=" << FormatDouble(stats.sim_seconds(), 3) << "s\n";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace trance

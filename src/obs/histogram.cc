@@ -1,0 +1,45 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trance {
+namespace obs {
+
+uint64_t Percentile(std::vector<uint64_t> values, double p) {
+  if (values.empty()) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: smallest value with at least ceil(p/100 * N) samples <= it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+LoadSummary SummarizeLoads(const std::vector<uint64_t>& loads) {
+  LoadSummary s;
+  s.partitions = loads.size();
+  if (loads.empty()) return s;
+  std::vector<uint64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (uint64_t v : sorted) s.total += v;
+  s.mean = static_cast<double>(s.total) / static_cast<double>(sorted.size());
+  auto nearest = [&](double p) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    return sorted[rank - 1];
+  };
+  s.p50 = nearest(50);
+  s.p95 = nearest(95);
+  s.imbalance =
+      s.mean > 0 ? static_cast<double>(s.max) / s.mean : 1.0;
+  return s;
+}
+
+}  // namespace obs
+}  // namespace trance

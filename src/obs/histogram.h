@@ -1,0 +1,35 @@
+// Percentile / load-imbalance math over per-partition byte histograms
+// (Section 6 reads straggler load and memory saturation off exactly these
+// distributions).
+#ifndef TRANCE_OBS_HISTOGRAM_H_
+#define TRANCE_OBS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trance {
+namespace obs {
+
+/// Nearest-rank percentile (p in [0,100]) of an unsorted sample; 0 on empty.
+uint64_t Percentile(std::vector<uint64_t> values, double p);
+
+/// Summary of one per-partition load histogram.
+struct LoadSummary {
+  size_t partitions = 0;
+  uint64_t min = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t max = 0;
+  uint64_t total = 0;
+  double mean = 0;
+  /// Straggler factor max/mean; 1.0 for empty or all-zero loads.
+  double imbalance = 1.0;
+};
+
+LoadSummary SummarizeLoads(const std::vector<uint64_t>& loads);
+
+}  // namespace obs
+}  // namespace trance
+
+#endif  // TRANCE_OBS_HISTOGRAM_H_

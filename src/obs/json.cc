@@ -1,0 +1,318 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace trance {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!counts_.empty() && counts_.back() > 0) out_ += ',';
+  if (!counts_.empty()) ++counts_.back();
+}
+
+void JsonWriter::Raw(const std::string& s) {
+  Separate();
+  out_ += s;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  if (counts_.size() > 1) counts_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  if (counts_.size() > 1) counts_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& k) {
+  if (!counts_.empty() && counts_.back() > 0) out_ += ',';
+  if (!counts_.empty()) ++counts_.back();
+  out_ += '"';
+  out_ += JsonEscape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  Raw("\"" + JsonEscape(v) + "\"");
+}
+
+void JsonWriter::Number(double v) {
+  if (!std::isfinite(v)) {
+    Null();
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  Raw(buf);
+}
+
+void JsonWriter::Int(int64_t v) { Raw(std::to_string(v)); }
+void JsonWriter::Uint(uint64_t v) { Raw(std::to_string(v)); }
+void JsonWriter::Bool(bool v) { Raw(v ? "true" : "false"); }
+void JsonWriter::Null() { Raw("null"); }
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    TRANCE_ASSIGN_OR_RETURN(JsonValue v, Value());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::Invalid("json: trailing characters at offset " +
+                             std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return Status::Invalid(std::string("json: expected '") + c +
+                             "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  StatusOr<JsonValue> Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Status::Invalid("json: unexpected end");
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') {
+      TRANCE_ASSIGN_OR_RETURN(std::string str, ParseString());
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.str = std::move(str);
+      return v;
+    }
+    if (c == 't' || c == 'f') return Keyword(c == 't' ? "true" : "false");
+    if (c == 'n') return Keyword("null");
+    return NumberValue();
+  }
+
+  StatusOr<JsonValue> Keyword(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      return Status::Invalid("json: bad literal at offset " +
+                             std::to_string(pos_));
+    }
+    pos_ += word.size();
+    JsonValue v;
+    if (word == "true" || word == "false") {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = word == "true";
+    }
+    return v;
+  }
+
+  StatusOr<JsonValue> NumberValue() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::Invalid("json: bad value at offset " +
+                             std::to_string(pos_));
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  StatusOr<std::string> ParseString() {
+    TRANCE_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Status::Invalid("json: bad escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Status::Invalid("json: bad \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::Invalid("json: bad \\u digit");
+          }
+          // Decode BMP code points to UTF-8 (surrogates left as-is bytes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Status::Invalid("json: unknown escape");
+      }
+    }
+    TRANCE_RETURN_NOT_OK(Expect('"'));
+    return out;
+  }
+
+  StatusOr<JsonValue> Object() {
+    TRANCE_RETURN_NOT_OK(Expect('{'));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      TRANCE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      TRANCE_RETURN_NOT_OK(Expect(':'));
+      TRANCE_ASSIGN_OR_RETURN(JsonValue member, Value());
+      v.obj.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    TRANCE_RETURN_NOT_OK(Expect('}'));
+    return v;
+  }
+
+  StatusOr<JsonValue> Array() {
+    TRANCE_RETURN_NOT_OK(Expect('['));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      TRANCE_ASSIGN_OR_RETURN(JsonValue elem, Value());
+      v.arr.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    TRANCE_RETURN_NOT_OK(Expect(']'));
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace trance

@@ -1,0 +1,72 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// by the trace / metrics exporters, and a small recursive-descent parser used
+// to validate round-trips in tests (no external dependencies).
+#ifndef TRANCE_OBS_JSON_H_
+#define TRANCE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trance {
+namespace obs {
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Streaming JSON writer with automatic comma/nesting management. Values
+/// written at the top level or inside arrays separate themselves; inside
+/// objects, call Key() before each value.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& k);
+  void String(const std::string& v);
+  void Number(double v);
+  void Int(int64_t v);
+  void Uint(uint64_t v);
+  void Bool(bool v);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+  void Raw(const std::string& s);
+
+  std::string out_;
+  /// Per open container: number of values already written (objects count
+  /// key-value pairs via Key()).
+  std::vector<int> counts_{0};
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (tests / validation only; not performance-sensitive).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (fails on trailing garbage).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace trance
+
+#endif  // TRANCE_OBS_JSON_H_

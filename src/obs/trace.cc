@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+#include "util/stopwatch.h"
+
+namespace trance {
+namespace obs {
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  depth_ = 0;
+}
+
+double Tracer::NowMicros() const { return WallMicros(); }
+
+void Tracer::AddCompleteEvent(TraceEvent ev) {
+  if (!enabled_) return;
+  events_.push_back(std::move(ev));
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& e : events_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String(e.cat.empty() ? "trance" : e.cat);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Number(e.ts_us);
+    w.Key("dur");
+    w.Number(e.dur_us);
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(e.tid);
+    if (!e.args.empty() || e.depth > 0) {
+      w.Key("args");
+      w.BeginObject();
+      if (e.depth > 0) {
+        w.Key("depth");
+        w.Int(e.depth);
+      }
+      for (const auto& [k, v] : e.args) {
+        w.Key(k);
+        w.String(v);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.str();
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string name, std::string cat)
+    : tracer_(tracer), active_(tracer != nullptr && tracer->enabled()) {
+  if (!active_) return;
+  ev_.name = std::move(name);
+  ev_.cat = std::move(cat);
+  ev_.ts_us = tracer_->NowMicros();
+  ev_.depth = tracer_->depth_++;
+}
+
+Tracer::Span::~Span() {
+  if (!active_) return;
+  ev_.dur_us = tracer_->NowMicros() - ev_.ts_us;
+  --tracer_->depth_;
+  tracer_->AddCompleteEvent(std::move(ev_));
+}
+
+void Tracer::Span::AddArg(std::string key, std::string value) {
+  if (!active_) return;
+  ev_.args.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace obs
+}  // namespace trance

@@ -1,0 +1,78 @@
+// Low-overhead structured tracer: nested spans for compilation phases
+// (typecheck -> unnest -> optimize -> shred/materialize -> lowering/execute)
+// and runtime stages, serializable to Chrome trace_event JSON for
+// chrome://tracing / Perfetto.
+//
+// Disabled by default: a Span constructed on a disabled tracer performs a
+// single branch and no clock reads, so instrumentation left in hot paths
+// costs nothing when tracing is off.
+#ifndef TRANCE_OBS_TRACE_H_
+#define TRANCE_OBS_TRACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trance {
+namespace obs {
+
+/// One complete ("ph":"X") trace event. Timestamps are microseconds on the
+/// process-wide WallMicros timeline.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0;
+  double dur_us = 0;
+  int tid = 0;    // 0 = compile/driver track, 1 = runtime-stage track
+  int depth = 0;  // span nesting depth at emission (tid 0 spans)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  /// Process-global tracer (single-threaded engine; no locking).
+  static Tracer& Global();
+
+  void set_enabled(bool e) { enabled_ = e; }
+  bool enabled() const { return enabled_; }
+  void Clear();
+
+  /// Microseconds on the shared process timeline.
+  double NowMicros() const;
+
+  /// Records a finished event (no-op when disabled).
+  void AddCompleteEvent(TraceEvent ev);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serializes all recorded events as a Chrome trace_event JSON document
+  /// ({"traceEvents": [...], ...}).
+  std::string ToChromeTraceJson() const;
+
+  /// RAII span: records a complete event covering its lifetime. Nesting is
+  /// tracked via the tracer's depth counter.
+  class Span {
+   public:
+    Span(Tracer* tracer, std::string name, std::string cat = "compile");
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void AddArg(std::string key, std::string value);
+
+   private:
+    Tracer* tracer_;
+    TraceEvent ev_;
+    bool active_;
+  };
+
+ private:
+  bool enabled_ = false;
+  int depth_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace obs
+}  // namespace trance
+
+#endif  // TRANCE_OBS_TRACE_H_

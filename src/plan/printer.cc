@@ -8,21 +8,18 @@
 namespace trance {
 namespace plan {
 
-namespace {
-
-void Print(const PlanPtr& p, int depth, std::ostringstream* os) {
-  std::string pad(static_cast<size_t>(depth) * 2, ' ');
-  *os << pad;
+std::string NodeLabel(const PlanPtr& p) {
+  std::ostringstream os;
   switch (p->kind()) {
     case PlanNode::Kind::kScan:
-      *os << "Scan(" << p->relation() << ")\n";
-      return;
+      os << "Scan(" << p->relation() << ")";
+      break;
     case PlanNode::Kind::kSelect:
-      *os << "Select[" << nrc::PrintExpr(p->cond()) << "]\n";
+      os << "Select[" << nrc::PrintExpr(p->cond()) << "]";
       break;
     case PlanNode::Kind::kOuterSelect:
-      *os << "OuterSelect[" << nrc::PrintExpr(p->cond()) << " keep "
-          << Join(p->keep_cols(), ",") << "]\n";
+      os << "OuterSelect[" << nrc::PrintExpr(p->cond()) << " keep "
+         << Join(p->keep_cols(), ",") << "]";
       break;
     case PlanNode::Kind::kProject:
     case PlanNode::Kind::kExtend: {
@@ -30,43 +27,50 @@ void Print(const PlanPtr& p, int depth, std::ostringstream* os) {
       for (const auto& c : p->columns()) {
         parts.push_back(c.name + " := " + nrc::PrintExpr(c.expr));
       }
-      *os << (p->kind() == PlanNode::Kind::kProject ? "Project[" : "Extend[")
-          << Join(parts, ", ") << "]\n";
+      os << (p->kind() == PlanNode::Kind::kProject ? "Project[" : "Extend[")
+         << Join(parts, ", ") << "]";
       break;
     }
     case PlanNode::Kind::kJoin:
-      *os << (p->outer() ? "OuterJoin[" : "Join[")
-          << Join(p->left_keys(), ",") << " = " << Join(p->right_keys(), ",")
-          << "]\n";
+      os << (p->outer() ? "OuterJoin[" : "Join[") << Join(p->left_keys(), ",")
+         << " = " << Join(p->right_keys(), ",") << "]";
       break;
     case PlanNode::Kind::kUnnest:
-      *os << (p->outer() ? "OuterUnnest[" : "Unnest[") << p->bag_col()
-          << " as " << p->alias() << "]\n";
+      os << (p->outer() ? "OuterUnnest[" : "Unnest[") << p->bag_col() << " as "
+         << p->alias() << "]";
       break;
     case PlanNode::Kind::kAddIndex:
-      *os << "AddIndex[" << p->id_attr() << "]\n";
+      os << "AddIndex[" << p->id_attr() << "]";
       break;
     case PlanNode::Kind::kNest:
-      *os << (p->agg() == NestAgg::kSum ? "Nest+[" : "NestU[")
-          << Join(p->keys(), ",") << " ; " << Join(p->values(), ",");
-      if (p->agg() == NestAgg::kBagUnion) *os << " -> " << p->out_attr();
-      *os << "]\n";
+      os << (p->agg() == NestAgg::kSum ? "Nest+[" : "NestU[")
+         << Join(p->keys(), ",") << " ; " << Join(p->values(), ",");
+      if (p->agg() == NestAgg::kBagUnion) os << " -> " << p->out_attr();
+      os << "]";
       break;
     case PlanNode::Kind::kDedup:
-      *os << "Dedup\n";
+      os << "Dedup";
       break;
     case PlanNode::Kind::kUnionAll:
-      *os << "UnionAll\n";
+      os << "UnionAll";
       break;
     case PlanNode::Kind::kCoGroup:
-      *os << "CoGroup[" << Join(p->left_keys(), ",") << " = "
-          << Join(p->right_keys(), ",") << " ; " << Join(p->values(), ",")
-          << " -> " << p->out_attr() << "]\n";
+      os << "CoGroup[" << Join(p->left_keys(), ",") << " = "
+         << Join(p->right_keys(), ",") << " ; " << Join(p->values(), ",")
+         << " -> " << p->out_attr() << "]";
       break;
     case PlanNode::Kind::kBagToDict:
-      *os << "BagToDict[" << p->label_col() << "]\n";
+      os << "BagToDict[" << p->label_col() << "]";
       break;
   }
+  return os.str();
+}
+
+namespace {
+
+void Print(const PlanPtr& p, int depth, std::ostringstream* os) {
+  std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  *os << pad << NodeLabel(p) << "\n";
   for (size_t i = 0; i < p->num_children(); ++i) {
     Print(p->child(i), depth + 1, os);
   }

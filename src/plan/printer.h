@@ -10,6 +10,10 @@
 namespace trance {
 namespace plan {
 
+/// One-line label of a single operator node (no children, no newline);
+/// shared by the tree printer and the EXPLAIN ANALYZE report.
+std::string NodeLabel(const PlanPtr& plan);
+
 std::string PrintPlan(const PlanPtr& plan);
 std::string PrintPlanProgram(const PlanProgram& program);
 

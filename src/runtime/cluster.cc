@@ -1,5 +1,6 @@
 #include "runtime/cluster.h"
 
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace trance {
@@ -12,11 +13,22 @@ void Cluster::RecordStage(StageStats s) {
           config_.seconds_per_cpu_byte +
       static_cast<double>(s.max_partition_recv_bytes) *
           config_.seconds_per_net_byte;
+  if (s.scope.empty()) s.scope = current_scope();
+  double now_us = WallMicros();
+  s.wall_start_us = last_stage_end_us_ < 0 ? now_us : last_stage_end_us_;
+  if (s.wall_start_us > now_us) s.wall_start_us = now_us;
+  s.wall_dur_us = now_us - s.wall_start_us;
+  last_stage_end_us_ = now_us;
   stats_.AddStage(std::move(s));
 }
 
 Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
-  for (uint64_t b : ds.PartitionBytes()) {
+  return CheckMemoryBytes(ds.PartitionBytes(), op);
+}
+
+Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
+                                 const std::string& op) {
+  for (uint64_t b : partition_bytes) {
     stats_.NotePeakPartitionBytes(b);
     if (b > config_.partition_memory_cap) {
       return Status::ResourceExhausted(

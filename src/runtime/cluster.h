@@ -5,9 +5,11 @@
 #define TRANCE_RUNTIME_CLUSTER_H_
 
 #include <string>
+#include <vector>
 
 #include "runtime/dataset.h"
 #include "runtime/stats.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace trance {
@@ -51,22 +53,62 @@ class Cluster {
   int num_partitions() const { return config_.num_partitions; }
 
   /// Records a finished stage, deriving its simulated time from the cost
-  /// model.
+  /// model, stamping its wall-time interval, and attributing it to the
+  /// current operator scope (if any).
   void RecordStage(StageStats s);
 
   /// Fails with ResourceExhausted if any partition of `ds` exceeds the
   /// per-partition memory cap.
   Status CheckMemory(const Dataset& ds, const std::string& op);
+  /// Same check over precomputed per-partition byte footprints (lets callers
+  /// that already walked the dataset avoid a second deep-size pass).
+  Status CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
+                          const std::string& op);
 
-  /// Target partition of a key hash.
+  /// Target partition of a key hash. The splitmix64 finalizer decorrelates
+  /// partition assignment from low-bit structure in the key hash; the
+  /// cluster seed perturbs the mapping so reruns can vary placement
+  /// deterministically.
   int PartitionOf(uint64_t key_hash) const {
-    return static_cast<int>(key_hash %
+    return static_cast<int>(SplitMix64(key_hash ^ config_.seed) %
                             static_cast<uint64_t>(config_.num_partitions));
+  }
+
+  /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
+  /// ANALYZE): stages recorded while a scope is active carry its name.
+  void PushScope(std::string scope) {
+    scope_stack_.push_back(std::move(scope));
+  }
+  void PopScope() {
+    if (!scope_stack_.empty()) scope_stack_.pop_back();
+  }
+  const std::string& current_scope() const {
+    static const std::string kEmpty;
+    return scope_stack_.empty() ? kEmpty : scope_stack_.back();
   }
 
  private:
   ClusterConfig config_;
   JobStats stats_;
+  std::vector<std::string> scope_stack_;
+  /// End timestamp (WallMicros) of the last recorded stage: the next stage's
+  /// wall interval starts here (everything between two records is, to a good
+  /// approximation, the later stage's work).
+  double last_stage_end_us_ = -1;
+};
+
+/// RAII helper: pushes an operator scope for the lifetime of the object.
+class StageScope {
+ public:
+  StageScope(Cluster* cluster, std::string scope) : cluster_(cluster) {
+    cluster_->PushScope(std::move(scope));
+  }
+  ~StageScope() { cluster_->PopScope(); }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Cluster* cluster_;
 };
 
 }  // namespace runtime

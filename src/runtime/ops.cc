@@ -11,7 +11,8 @@ namespace runtime {
 
 namespace {
 
-/// Accumulates per-partition processed bytes and finalizes max/total.
+/// Accumulates per-partition processed bytes and finalizes max/total plus
+/// the per-partition work histogram.
 class WorkMeter {
  public:
   explicit WorkMeter(size_t parts) : work_(parts, 0) {}
@@ -21,11 +22,20 @@ class WorkMeter {
       s->total_work_bytes += w;
       if (w > s->max_partition_work_bytes) s->max_partition_work_bytes = w;
     }
+    s->partition_work_bytes = work_;
   }
 
  private:
   std::vector<uint64_t> work_;
 };
+
+/// Accumulates `add` into `into[i]`, growing the histogram on first use (a
+/// stage may run several shuffles, e.g. both sides of a join).
+void AccumulateHistogram(std::vector<uint64_t>* into,
+                         const std::vector<uint64_t>& add) {
+  if (into->size() < add.size()) into->resize(add.size(), 0);
+  for (size_t i = 0; i < add.size(); ++i) (*into)[i] += add[i];
+}
 
 uint64_t PartBytes(const std::vector<Row>& rows) {
   uint64_t s = 0;
@@ -43,6 +53,9 @@ std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
   const int n = cluster->num_partitions();
   std::vector<std::vector<Row>> out(static_cast<size_t>(n));
   std::vector<uint64_t> recv(static_cast<size_t>(n), 0);
+  std::vector<uint64_t> send(std::max(in.partitions.size(),
+                                      static_cast<size_t>(n)),
+                             0);
   for (size_t p = 0; p < in.partitions.size(); ++p) {
     for (const auto& row : in.partitions[p]) {
       int target = cluster->PartitionOf(RowHashOn(row, key_cols));
@@ -50,6 +63,7 @@ std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
         uint64_t b = RowDeepSize(row);
         stage->shuffle_bytes += b;
         recv[static_cast<size_t>(target)] += b;
+        send[p] += b;
       }
       out[static_cast<size_t>(target)].push_back(row);
     }
@@ -59,6 +73,9 @@ std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
       stage->max_partition_recv_bytes = b;
     }
   }
+  stage->movement = DataMovement::kShuffle;
+  AccumulateHistogram(&stage->partition_recv_bytes, recv);
+  AccumulateHistogram(&stage->partition_send_bytes, send);
   return out;
 }
 
@@ -127,8 +144,12 @@ void LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
 Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
                    const std::string& name) {
   stage.rows_out = result->NumRows();
+  std::vector<uint64_t> part_bytes = result->PartitionBytes();
+  for (uint64_t b : part_bytes) {
+    if (b > stage.mem_high_water_bytes) stage.mem_high_water_bytes = b;
+  }
   cluster->RecordStage(std::move(stage));
-  return cluster->CheckMemory(*result, name);
+  return cluster->CheckMemoryBytes(part_bytes, name);
 }
 
 }  // namespace
@@ -315,10 +336,23 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   std::vector<Row> bcast = right.Collect();
   uint64_t bcast_bytes = 0;
   for (const auto& r : bcast) bcast_bytes += RowDeepSize(r);
-  stage.shuffle_bytes +=
-      bcast_bytes * static_cast<uint64_t>(cluster->num_partitions());
+  const uint64_t n = static_cast<uint64_t>(cluster->num_partitions());
+  stage.shuffle_bytes += bcast_bytes * n;
   stage.max_partition_recv_bytes =
       std::max(stage.max_partition_recv_bytes, bcast_bytes);
+  stage.movement = DataMovement::kBroadcast;
+  // Every partition receives the full broadcast; each source partition sends
+  // its resident right-side rows to all n partitions.
+  AccumulateHistogram(&stage.partition_recv_bytes,
+                      std::vector<uint64_t>(static_cast<size_t>(n),
+                                            bcast_bytes));
+  {
+    std::vector<uint64_t> send(right.partitions.size(), 0);
+    for (size_t p = 0; p < right.partitions.size(); ++p) {
+      send[p] = PartBytes(right.partitions[p]) * n;
+    }
+    AccumulateHistogram(&stage.partition_send_bytes, send);
+  }
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);

@@ -7,18 +7,65 @@
 namespace trance {
 namespace runtime {
 
+const char* DataMovementName(DataMovement m) {
+  switch (m) {
+    case DataMovement::kLocal:
+      return "local";
+    case DataMovement::kShuffle:
+      return "shuffle";
+    case DataMovement::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+double StageStats::ImbalanceFactor() const {
+  if (partition_work_bytes.empty() || total_work_bytes == 0) return 1.0;
+  double mean = static_cast<double>(total_work_bytes) /
+                static_cast<double>(partition_work_bytes.size());
+  if (mean <= 0) return 1.0;
+  return static_cast<double>(max_partition_work_bytes) / mean;
+}
+
+StragglerSummary JobStats::straggler() const {
+  StragglerSummary out;
+  for (const auto& s : stages_) {
+    if (s.max_partition_recv_bytes > out.max_partition_recv_bytes) {
+      out.max_partition_recv_bytes = s.max_partition_recv_bytes;
+    }
+    if (s.max_partition_work_bytes > out.max_partition_work_bytes) {
+      out.max_partition_work_bytes = s.max_partition_work_bytes;
+    }
+    double f = s.ImbalanceFactor();
+    if (f > out.worst_imbalance) {
+      out.worst_imbalance = f;
+      out.worst_stage = s.op;
+    }
+    out.heavy_key_count += s.heavy_key_count;
+  }
+  return out;
+}
+
 std::string JobStats::ToString() const {
   std::ostringstream os;
+  StragglerSummary sk = straggler();
   os << "JobStats{stages=" << stages_.size()
      << ", shuffle=" << FormatBytes(totals_.shuffle_bytes)
      << ", max_stage_shuffle=" << FormatBytes(max_stage_shuffle_)
      << ", peak_partition=" << FormatBytes(peak_partition_bytes_)
+     << ", max_partition_recv=" << FormatBytes(sk.max_partition_recv_bytes)
+     << ", max_partition_work=" << FormatBytes(sk.max_partition_work_bytes)
+     << ", straggler=" << FormatDouble(sk.worst_imbalance, 2) << "x"
+     << (sk.worst_stage.empty() ? "" : "@" + sk.worst_stage)
+     << ", heavy_keys=" << sk.heavy_key_count
      << ", sim_time=" << FormatDouble(sim_seconds_, 3) << "s}";
   for (const auto& s : stages_) {
     os << "\n  " << s.op << ": in=" << s.rows_in << " out=" << s.rows_out
        << " shuffle=" << FormatBytes(s.shuffle_bytes)
        << " max_recv=" << FormatBytes(s.max_partition_recv_bytes)
        << " max_work=" << FormatBytes(s.max_partition_work_bytes)
+       << " imb=" << FormatDouble(s.ImbalanceFactor(), 2) << "x"
+       << " mode=" << DataMovementName(s.movement)
        << " t=" << FormatDouble(s.sim_seconds, 4) << "s";
   }
   return os.str();

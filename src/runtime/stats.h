@@ -7,6 +7,12 @@
 //   overhead + max_partition_work_bytes * cpu_cost + max_partition_recv_bytes * net_cost,
 // i.e. every stage is as slow as its most loaded worker — which is exactly
 // how skew hurts synchronous platforms like Spark (Section 1, Challenge 3).
+//
+// Beyond the scalar aggregates, each stage carries per-partition send/recv/
+// work histograms, the broadcast-vs-shuffle decision, the heavy-key count
+// from the skew sampler, and a memory high-water mark; JobStats aggregates
+// them into a job-wide straggler/imbalance summary (src/obs turns these into
+// EXPLAIN ANALYZE reports, percentile summaries and Chrome trace exports).
 #ifndef TRANCE_RUNTIME_STATS_H_
 #define TRANCE_RUNTIME_STATS_H_
 
@@ -17,15 +23,57 @@
 namespace trance {
 namespace runtime {
 
+/// How a stage moved data between partitions.
+enum class DataMovement {
+  kLocal,      // partition-local (no cross-partition movement)
+  kShuffle,    // hash repartitioning
+  kBroadcast,  // replication to every partition
+};
+
+const char* DataMovementName(DataMovement m);
+
 struct StageStats {
   std::string op;
+  /// Plan-operator attribution (set from the cluster's scope stack); empty
+  /// for stages recorded outside plan execution (sources, unshredding).
+  std::string scope;
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   uint64_t shuffle_bytes = 0;             // bytes moved between partitions
   uint64_t max_partition_recv_bytes = 0;  // heaviest receiver in the shuffle
   uint64_t max_partition_work_bytes = 0;  // heaviest worker's processed bytes
   uint64_t total_work_bytes = 0;
+  /// Largest partition footprint of the stage's output (bytes); 0 for stages
+  /// that do not materialize an output (sources are pre-cached).
+  uint64_t mem_high_water_bytes = 0;
+  /// Heavy keys found by the skew sampler (heavy_keys stages only).
+  uint64_t heavy_key_count = 0;
+  DataMovement movement = DataMovement::kLocal;
+  /// Per-partition histograms (indexed by partition; empty when the stage
+  /// did not track the quantity).
+  std::vector<uint64_t> partition_send_bytes;
+  std::vector<uint64_t> partition_recv_bytes;
+  std::vector<uint64_t> partition_work_bytes;
   double sim_seconds = 0;
+  /// Wall-clock interval of the stage on the process trace timeline
+  /// (microseconds since trance::WallMicros epoch); stamped by
+  /// Cluster::RecordStage.
+  double wall_start_us = 0;
+  double wall_dur_us = 0;
+
+  /// Straggler factor: heaviest worker / mean worker load (1.0 when the
+  /// stage tracked no per-partition work or did no work).
+  double ImbalanceFactor() const;
+};
+
+/// Job-wide straggler / skew summary (the aggregate the per-stage maxima
+/// previously never surfaced).
+struct StragglerSummary {
+  uint64_t max_partition_recv_bytes = 0;  // worst single-stage receiver
+  uint64_t max_partition_work_bytes = 0;  // worst single-stage worker
+  double worst_imbalance = 1.0;           // max over stages of max/mean work
+  std::string worst_stage;                // op name of that stage
+  uint64_t heavy_key_count = 0;           // total keys flagged by the sampler
 };
 
 /// Accumulated statistics for one logical job (query execution).
@@ -53,6 +101,9 @@ class JobStats {
   uint64_t max_stage_shuffle_bytes() const { return max_stage_shuffle_; }
   uint64_t peak_partition_bytes() const { return peak_partition_bytes_; }
   double sim_seconds() const { return sim_seconds_; }
+
+  /// Job-wide aggregation of the per-stage skew quantities.
+  StragglerSummary straggler() const;
 
   void Reset() {
     stages_.clear();

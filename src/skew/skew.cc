@@ -72,6 +72,8 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   // broadcast to all workers.
   stage.shuffle_bytes =
       out.keys.size() * 16 * static_cast<uint64_t>(cluster->num_partitions());
+  stage.heavy_key_count = out.keys.size();
+  stage.movement = runtime::DataMovement::kBroadcast;
   cluster->RecordStage(std::move(stage));
   return out;
 }
@@ -103,6 +105,7 @@ StatusOr<SkewTriple> SplitByHeavyKeys(Cluster* cluster, const Dataset& in,
     }
   }
   stage.rows_out = stage.rows_in;
+  stage.heavy_key_count = hk.keys.size();
   cluster->RecordStage(std::move(stage));
   hk.key_cols = std::move(key_cols);
   out.heavy_keys = std::move(hk);

@@ -19,6 +19,16 @@ inline uint64_t Mix64(uint64_t x) {
   return x;
 }
 
+/// SplitMix64 finalizer: full-avalanche mixing for the hash-partitioner, so
+/// partition assignment does not inherit weak low-bit entropy from raw key
+/// hashes (e.g. sequential integer keys).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return Mix64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2)));
 }

@@ -6,6 +6,16 @@
 
 namespace trance {
 
+/// Microseconds since a process-wide epoch (first call). All observability
+/// timestamps (compile-phase spans, runtime stage wall times) share this
+/// epoch so they land on one consistent trace timeline.
+inline double WallMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

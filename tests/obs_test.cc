@@ -1,0 +1,416 @@
+// Observability layer: span nesting/ordering, percentile math, JSON
+// round-trips of the trace export, EXPLAIN ANALYZE output on real runs, the
+// job-wide straggler summary, and the splitmix64 partitioner.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "obs/explain.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "shred/shredded_type.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace trance {
+namespace {
+
+// --- Tracer spans --------------------------------------------------------
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    obs::Tracer::Span outer(&tracer, "outer");
+    obs::Tracer::Span inner(&tracer, "inner");
+  }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, SpanNestingAndOrdering) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Tracer::Span outer(&tracer, "outer");
+    {
+      obs::Tracer::Span first(&tracer, "first");
+    }
+    {
+      obs::Tracer::Span second(&tracer, "second");
+      second.AddArg("rows", "42");
+    }
+  }
+  // Spans record on destruction: children before their parent.
+  ASSERT_EQ(tracer.events().size(), 3u);
+  const auto& first = tracer.events()[0];
+  const auto& second = tracer.events()[1];
+  const auto& outer = tracer.events()[2];
+  EXPECT_EQ(first.name, "first");
+  EXPECT_EQ(second.name, "second");
+  EXPECT_EQ(outer.name, "outer");
+
+  // Nesting depth: outer at 0, both children at 1.
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(first.depth, 1);
+  EXPECT_EQ(second.depth, 1);
+
+  // Sibling ordering and parent containment on the timeline.
+  EXPECT_LE(first.ts_us + first.dur_us, second.ts_us);
+  EXPECT_LE(outer.ts_us, first.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, second.ts_us + second.dur_us);
+
+  ASSERT_EQ(second.args.size(), 1u);
+  EXPECT_EQ(second.args[0].first, "rows");
+  EXPECT_EQ(second.args[0].second, "42");
+}
+
+TEST(TracerTest, ClearResetsDepth) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  { obs::Tracer::Span s(&tracer, "a"); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  { obs::Tracer::Span s(&tracer, "b"); }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].depth, 0);
+}
+
+// --- Percentile / load-summary math --------------------------------------
+
+TEST(HistogramTest, PercentileNearestRank) {
+  EXPECT_EQ(obs::Percentile({}, 50), 0u);
+  EXPECT_EQ(obs::Percentile({7}, 0), 7u);
+  EXPECT_EQ(obs::Percentile({7}, 100), 7u);
+  std::vector<uint64_t> v = {15, 20, 35, 40, 50};
+  EXPECT_EQ(obs::Percentile(v, 5), 15u);
+  EXPECT_EQ(obs::Percentile(v, 30), 20u);
+  EXPECT_EQ(obs::Percentile(v, 40), 20u);
+  EXPECT_EQ(obs::Percentile(v, 50), 35u);
+  EXPECT_EQ(obs::Percentile(v, 100), 50u);
+  // Unsorted input is handled.
+  EXPECT_EQ(obs::Percentile({50, 15, 40, 20, 35}, 50), 35u);
+}
+
+TEST(HistogramTest, SummarizeLoads) {
+  obs::LoadSummary empty = obs::SummarizeLoads({});
+  EXPECT_EQ(empty.partitions, 0u);
+  EXPECT_DOUBLE_EQ(empty.imbalance, 1.0);
+
+  obs::LoadSummary s = obs::SummarizeLoads({100, 100, 100, 500});
+  EXPECT_EQ(s.partitions, 4u);
+  EXPECT_EQ(s.min, 100u);
+  EXPECT_EQ(s.p50, 100u);
+  EXPECT_EQ(s.p95, 500u);
+  EXPECT_EQ(s.max, 500u);
+  EXPECT_EQ(s.total, 800u);
+  EXPECT_DOUBLE_EQ(s.mean, 200.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 2.5);
+
+  obs::LoadSummary zeros = obs::SummarizeLoads({0, 0});
+  EXPECT_DOUBLE_EQ(zeros.imbalance, 1.0);
+}
+
+TEST(StatsTest, ImbalanceFactorAndStragglerSummary) {
+  runtime::StageStats balanced;
+  balanced.op = "even";
+  balanced.partition_work_bytes = {100, 100, 100, 100};
+  balanced.total_work_bytes = 400;
+  balanced.max_partition_work_bytes = 100;
+  EXPECT_DOUBLE_EQ(balanced.ImbalanceFactor(), 1.0);
+
+  runtime::StageStats skewed;
+  skewed.op = "skewed_join";
+  skewed.partition_work_bytes = {10, 10, 10, 370};
+  skewed.total_work_bytes = 400;
+  skewed.max_partition_work_bytes = 370;
+  skewed.max_partition_recv_bytes = 999;
+  skewed.heavy_key_count = 3;
+  EXPECT_DOUBLE_EQ(skewed.ImbalanceFactor(), 3.7);
+
+  // A stage with no histogram is neutral.
+  runtime::StageStats untracked;
+  untracked.op = "source";
+  EXPECT_DOUBLE_EQ(untracked.ImbalanceFactor(), 1.0);
+
+  runtime::JobStats job;
+  job.AddStage(balanced);
+  job.AddStage(skewed);
+  job.AddStage(untracked);
+  runtime::StragglerSummary sk = job.straggler();
+  EXPECT_EQ(sk.max_partition_recv_bytes, 999u);
+  EXPECT_EQ(sk.max_partition_work_bytes, 370u);
+  EXPECT_DOUBLE_EQ(sk.worst_imbalance, 3.7);
+  EXPECT_EQ(sk.worst_stage, "skewed_join");
+  EXPECT_EQ(sk.heavy_key_count, 3u);
+
+  std::string s = job.ToString();
+  EXPECT_NE(s.find("straggler=3.70x@skewed_join"), std::string::npos);
+  EXPECT_NE(s.find("heavy_keys=3"), std::string::npos);
+}
+
+// --- JSON writer / parser round-trips ------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("a \"quoted\" value\nwith newline");
+  w.Key("count");
+  w.Uint(18446744073709551615ull);
+  w.Key("ratio");
+  w.Number(2.5);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(-3);
+  w.String("x");
+  w.BeginObject();
+  w.Key("nested");
+  w.Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  auto parsed = obs::ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << w.str();
+  const obs::JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.Find("name"), nullptr);
+  EXPECT_EQ(v.Find("name")->str, "a \"quoted\" value\nwith newline");
+  EXPECT_DOUBLE_EQ(v.Find("ratio")->num, 2.5);
+  EXPECT_TRUE(v.Find("ok")->b);
+  EXPECT_EQ(v.Find("nothing")->kind, obs::JsonValue::Kind::kNull);
+  ASSERT_TRUE(v.Find("list")->is_array());
+  ASSERT_EQ(v.Find("list")->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("list")->arr[0].num, -3.0);
+  ASSERT_TRUE(v.Find("list")->arr[2].is_object());
+  EXPECT_FALSE(v.Find("list")->arr[2].Find("nested")->b);
+}
+
+TEST(JsonTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("{}trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":}").ok());
+}
+
+TEST(TracerTest, ChromeTraceJsonRoundTrip) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Tracer::Span outer(&tracer, "pipeline");
+    obs::Tracer::Span inner(&tracer, "type\"check\"");  // exercises escaping
+    inner.AddArg("note", "a\\b");
+  }
+  std::string doc = tracer.ToChromeTraceJson();
+  auto parsed = obs::ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << doc;
+  const obs::JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  const obs::JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->arr.size(), 2u);
+  for (const auto& e : events->arr) {
+    ASSERT_TRUE(e.is_object());
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_NE(e.Find(key), nullptr) << "missing " << key;
+    }
+    EXPECT_EQ(e.Find("ph")->str, "X");
+  }
+  EXPECT_EQ(events->arr[0].Find("name")->str, "type\"check\"");
+  EXPECT_EQ(events->arr[0].Find("args")->Find("note")->str, "a\\b");
+}
+
+// --- EXPLAIN ANALYZE on real runs ----------------------------------------
+
+Status RegisterTables(exec::Executor* executor, const tpch::TpchData& d) {
+  struct E {
+    const tpch::Table* t;
+    const char* n;
+  };
+  for (const E& e : {E{&d.region, "Region"}, E{&d.nation, "Nation"},
+                     E{&d.customer, "Customer"}, E{&d.orders, "Orders"},
+                     E{&d.lineitem, "Lineitem"}, E{&d.part, "Part"}}) {
+    TRANCE_ASSIGN_OR_RETURN(
+        runtime::Dataset ds,
+        runtime::Source(executor->cluster(), e.t->schema, e.t->rows, e.n));
+    executor->Register(e.n, ds);
+    executor->Register(shred::FlatInputName(e.n), std::move(ds));
+  }
+  return Status::OK();
+}
+
+tpch::TpchData SmallTpch() {
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.002;
+  return tpch::Generate(cfg);
+}
+
+TEST(ExplainAnalyzeTest, StandardRunShowsPerOperatorStats) {
+  tpch::TpchData data = SmallTpch();
+  runtime::Cluster cluster(runtime::ClusterConfig{.num_partitions = 4});
+  exec::Executor executor(&cluster, {});
+  ASSERT_TRUE(RegisterTables(&executor, data).ok());
+  auto program = tpch::FlatToNested(2, tpch::Width::kNarrow);
+  ASSERT_TRUE(program.ok());
+  plan::PlanProgram compiled;
+  auto out = exec::RunStandard(program.value(), &executor, {}, &compiled);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_FALSE(compiled.assignments.empty());
+
+  std::string ex = obs::ExplainAnalyze(compiled, cluster.stats());
+  EXPECT_NE(ex.find("EXPLAIN ANALYZE"), std::string::npos);
+  // Per-operator stats joined onto plan lines.
+  EXPECT_NE(ex.find("rows="), std::string::npos);
+  EXPECT_NE(ex.find("shuffle="), std::string::npos);
+  EXPECT_NE(ex.find("straggler="), std::string::npos);
+  EXPECT_NE(ex.find("mode="), std::string::npos);
+  EXPECT_NE(ex.find("work(p50/p95/max)="), std::string::npos);
+  // The job summary footer.
+  EXPECT_NE(ex.find("job: stages="), std::string::npos) << ex;
+
+  // Every executed plan-node scope must round-trip: no stage with a
+  // non-empty scope may end up unattributed.
+  std::set<std::string> walked;
+  for (const auto& a : compiled.assignments) {
+    // Count nodes per assignment the same way the executor numbers them.
+    std::function<int(const plan::PlanPtr&)> count =
+        [&](const plan::PlanPtr& p) {
+          int n = 1;
+          for (size_t i = 0; i < p->num_children(); ++i) {
+            n += count(p->child(i));
+          }
+          return n;
+        };
+    int total = count(a.plan);
+    for (int i = 0; i < total; ++i) {
+      walked.insert(obs::StageScopeName(a.var, i));
+    }
+  }
+  for (const auto& s : cluster.stats().stages()) {
+    if (!s.scope.empty()) {
+      EXPECT_TRUE(walked.count(s.scope) > 0)
+          << "stage " << s.op << " scope " << s.scope
+          << " not reachable from the explain walk";
+    }
+  }
+}
+
+TEST(ExplainAnalyzeTest, ShreddedRunShowsPerOperatorStats) {
+  tpch::TpchData data = SmallTpch();
+  runtime::Cluster cluster(runtime::ClusterConfig{.num_partitions = 4});
+  exec::Executor executor(&cluster, {});
+  ASSERT_TRUE(RegisterTables(&executor, data).ok());
+  auto program = tpch::FlatToNested(2, tpch::Width::kNarrow);
+  ASSERT_TRUE(program.ok());
+  plan::PlanProgram compiled;
+  auto run = exec::RunShredded(program.value(), &executor, {},
+                               shred::MaterializeMode::kDomainElimination,
+                               &compiled);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_FALSE(compiled.assignments.empty());
+
+  std::string ex = obs::ExplainAnalyze(compiled, cluster.stats());
+  EXPECT_NE(ex.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(ex.find("rows="), std::string::npos);
+  EXPECT_NE(ex.find("shuffle="), std::string::npos);
+  EXPECT_NE(ex.find("straggler="), std::string::npos);
+  // The shredded route ends dictionary assignments in BagToDict.
+  EXPECT_NE(ex.find("BagToDict"), std::string::npos) << ex;
+  EXPECT_NE(ex.find("job: stages="), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, JobStatsJsonIsValid) {
+  tpch::TpchData data = SmallTpch();
+  runtime::Cluster cluster(runtime::ClusterConfig{.num_partitions = 4});
+  exec::Executor executor(&cluster, {});
+  ASSERT_TRUE(RegisterTables(&executor, data).ok());
+  auto program = tpch::FlatToNested(2, tpch::Width::kNarrow);
+  ASSERT_TRUE(program.ok());
+  auto out = exec::RunStandard(program.value(), &executor, {});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  std::string doc = obs::JobStatsToJson(cluster.stats());
+  auto parsed = obs::ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& v = parsed.value();
+  const obs::JsonValue* stages = v.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_array());
+  EXPECT_FALSE(stages->arr.empty());
+  // Shuffling stages must expose partition-load percentile summaries.
+  bool some_work_summary = false;
+  for (const auto& st : stages->arr) {
+    if (st.Find("work") != nullptr) {
+      some_work_summary = true;
+      EXPECT_NE(st.Find("work")->Find("p50"), nullptr);
+      EXPECT_NE(st.Find("work")->Find("p95"), nullptr);
+      EXPECT_NE(st.Find("work")->Find("max"), nullptr);
+      EXPECT_NE(st.Find("work")->Find("imbalance"), nullptr);
+    }
+  }
+  EXPECT_TRUE(some_work_summary);
+  const obs::JsonValue* totals = v.Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_NE(totals->Find("worst_imbalance"), nullptr);
+  EXPECT_NE(totals->Find("max_partition_work_bytes"), nullptr);
+}
+
+// --- Partitioner ---------------------------------------------------------
+
+TEST(PartitionOfTest, MixesSequentialKeys) {
+  runtime::Cluster cluster(runtime::ClusterConfig{.num_partitions = 8});
+  // Raw `hash % n` maps sequential hashes to cycling partitions; the
+  // splitmix64 finalizer must break that pattern.
+  int identity_matches = 0;
+  std::vector<int> counts(8, 0);
+  const int kKeys = 4096;
+  for (int i = 0; i < kKeys; ++i) {
+    int p = cluster.PartitionOf(static_cast<uint64_t>(i));
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8);
+    counts[p]++;
+    if (p == i % 8) identity_matches++;
+  }
+  // ~1/8 of keys land on their mod-partition by chance; all of them would
+  // under the old identity mapping.
+  EXPECT_LT(identity_matches, kKeys / 4);
+  // Roughly uniform spread: every partition within 2x of the ideal share.
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / 16);
+    EXPECT_LT(c, kKeys / 4);
+  }
+}
+
+TEST(PartitionOfTest, RespectsSeed) {
+  runtime::ClusterConfig a;
+  a.num_partitions = 8;
+  a.seed = 1;
+  runtime::ClusterConfig b = a;
+  b.seed = 2;
+  runtime::Cluster ca(a), cb(b);
+  int differing = 0;
+  for (uint64_t k = 0; k < 256; ++k) {
+    if (ca.PartitionOf(k) != cb.PartitionOf(k)) differing++;
+  }
+  EXPECT_GT(differing, 0);
+  // Same seed is deterministic.
+  runtime::Cluster ca2(a);
+  for (uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(ca.PartitionOf(k), ca2.PartitionOf(k));
+  }
+}
+
+}  // namespace
+}  // namespace trance
