@@ -94,6 +94,7 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
                    const std::function<Status()>& body) {
   RunResult r;
   r.name = name;
+  r.num_threads = cluster->num_threads();
   cluster->stats().Reset();
   obs::Tracer* tracer = &obs::Tracer::Global();
   Status st;
@@ -159,14 +160,18 @@ std::string BenchOutPath(const std::string& file) {
 }  // namespace
 
 Status WriteBenchReport(const std::string& bench_name,
-                        const std::vector<RunResult>& results) {
+                        const std::vector<RunResult>& results,
+                        const std::vector<RunResult>* baseline) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("bench");
   w.String(bench_name);
+  double wall_total = 0;
+  double wall_total_1thread = 0;
   w.Key("runs");
   w.BeginArray();
-  for (const auto& r : results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
     w.BeginObject();
     w.Key("name");
     w.String(r.name);
@@ -176,8 +181,21 @@ Status WriteBenchReport(const std::string& bench_name,
       w.Key("fail_reason");
       w.String(r.fail_reason);
     }
+    w.Key("num_threads");
+    w.Int(r.num_threads);
     w.Key("wall_seconds");
     w.Number(r.wall_s);
+    if (baseline != nullptr && i < baseline->size()) {
+      const RunResult& b = (*baseline)[i];
+      w.Key("wall_seconds_1thread");
+      w.Number(b.wall_s);
+      if (r.ok && b.ok && r.wall_s > 0) {
+        w.Key("speedup_vs_1thread");
+        w.Number(b.wall_s / r.wall_s);
+        wall_total += r.wall_s;
+        wall_total_1thread += b.wall_s;
+      }
+    }
     w.Key("sim_seconds");
     w.Number(r.sim_s);
     w.Key("shuffle_bytes");
@@ -193,6 +211,21 @@ Status WriteBenchReport(const std::string& bench_name,
     w.EndObject();
   }
   w.EndArray();
+  if (baseline != nullptr) {
+    w.Key("scaling");
+    w.BeginObject();
+    w.Key("num_threads");
+    w.Int(results.empty() ? 1 : results.front().num_threads);
+    w.Key("wall_seconds_total");
+    w.Number(wall_total);
+    w.Key("wall_seconds_total_1thread");
+    w.Number(wall_total_1thread);
+    if (wall_total > 0) {
+      w.Key("speedup_vs_1thread");
+      w.Number(wall_total_1thread / wall_total);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   std::string metrics_path = BenchOutPath("BENCH_" + bench_name + ".json");
   TRANCE_RETURN_NOT_OK(obs::WriteFile(metrics_path, w.str()));

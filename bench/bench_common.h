@@ -28,6 +28,9 @@ struct RunResult {
   std::string name;
   bool ok = false;
   std::string fail_reason;
+  /// Resolved thread budget of the run's cluster (partition-parallel
+  /// operator execution; see ClusterConfig::num_threads).
+  int num_threads = 1;
   double wall_s = 0;
   double sim_s = 0;
   uint64_t shuffle_bytes = 0;
@@ -97,8 +100,15 @@ void EnableBenchObservability();
 /// enabled, BENCH_<name>_trace.json (Chrome trace_event format, loadable in
 /// chrome://tracing or Perfetto). Output directory comes from the
 /// TRANCE_BENCH_OUT env var (default: current directory).
+/// `baseline`, when non-null, holds the same runs executed with
+/// num_threads = 1 (matched per index); each run then additionally reports
+/// wall_seconds_1thread and speedup_vs_1thread, and the report gains a
+/// top-level "scaling" summary (total wall at 1 thread vs. this run's
+/// thread count). Simulated metrics are thread-count-invariant, so only the
+/// wall numbers scale.
 Status WriteBenchReport(const std::string& bench_name,
-                        const std::vector<RunResult>& results);
+                        const std::vector<RunResult>& results,
+                        const std::vector<RunResult>* baseline = nullptr);
 
 }  // namespace bench
 }  // namespace trance

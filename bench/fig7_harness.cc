@@ -25,8 +25,11 @@ const char* KindName(QueryKind k) {
 }
 
 runtime::ClusterConfig MakeClusterConfig(const Fig7Config& cfg) {
-  return BenchClusterConfig(cfg.num_partitions, cfg.partition_memory_cap,
-                            cfg.broadcast_threshold);
+  runtime::ClusterConfig c =
+      BenchClusterConfig(cfg.num_partitions, cfg.partition_memory_cap,
+                         cfg.broadcast_threshold);
+  c.num_threads = cfg.num_threads;
+  return c;
 }
 
 Status RegisterAllTables(exec::Executor* executor, const tpch::TpchData& d) {

@@ -18,6 +18,8 @@ struct Fig7Config {
   uint64_t partition_memory_cap = 3ull << 20;
   uint64_t broadcast_threshold = 48ull << 10;
   int max_depth = 4;
+  /// Thread budget forwarded to ClusterConfig::num_threads (0 = auto).
+  int num_threads = 0;
 };
 
 /// Runs the whole Figure-7 suite and prints the result table. Returns the

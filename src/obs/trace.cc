@@ -12,6 +12,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   depth_ = 0;
 }
@@ -19,7 +20,8 @@ void Tracer::Clear() {
 double Tracer::NowMicros() const { return WallMicros(); }
 
 void Tracer::AddCompleteEvent(TraceEvent ev) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -72,14 +74,16 @@ Tracer::Span::Span(Tracer* tracer, std::string name, std::string cat)
   ev_.name = std::move(name);
   ev_.cat = std::move(cat);
   ev_.ts_us = tracer_->NowMicros();
+  std::lock_guard<std::mutex> lock(tracer_->mu_);
   ev_.depth = tracer_->depth_++;
 }
 
 Tracer::Span::~Span() {
   if (!active_) return;
   ev_.dur_us = tracer_->NowMicros() - ev_.ts_us;
+  std::lock_guard<std::mutex> lock(tracer_->mu_);
   --tracer_->depth_;
-  tracer_->AddCompleteEvent(std::move(ev_));
+  if (tracer_->enabled()) tracer_->events_.push_back(std::move(ev_));
 }
 
 void Tracer::Span::AddArg(std::string key, std::string value) {

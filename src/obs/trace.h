@@ -9,6 +9,8 @@
 #ifndef TRANCE_OBS_TRACE_H_
 #define TRANCE_OBS_TRACE_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,11 +32,13 @@ struct TraceEvent {
 
 class Tracer {
  public:
-  /// Process-global tracer (single-threaded engine; no locking).
+  /// Process-global tracer. Event recording is mutex-guarded so spans may
+  /// close on pool worker threads (partition-parallel operators); the
+  /// disabled fast path stays a single atomic load.
   static Tracer& Global();
 
-  void set_enabled(bool e) { enabled_ = e; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_.store(e, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void Clear();
 
   /// Microseconds on the shared process timeline.
@@ -43,6 +47,8 @@ class Tracer {
   /// Records a finished event (no-op when disabled).
   void AddCompleteEvent(TraceEvent ev);
 
+  /// Recorded events. Only safe to read when no spans are in flight (i.e.
+  /// between queries / at stage barriers), which is where all callers read.
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Serializes all recorded events as a Chrome trace_event JSON document
@@ -67,7 +73,9 @@ class Tracer {
   };
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  /// Guards depth_ and events_ (spans can open/close concurrently).
+  mutable std::mutex mu_;
   int depth_ = 0;
   std::vector<TraceEvent> events_;
 };

@@ -13,7 +13,8 @@ void Cluster::RecordStage(StageStats s) {
           config_.seconds_per_cpu_byte +
       static_cast<double>(s.max_partition_recv_bytes) *
           config_.seconds_per_net_byte;
-  if (s.scope.empty()) s.scope = current_scope();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s.scope.empty() && !scope_stack_.empty()) s.scope = scope_stack_.back();
   double now_us = WallMicros();
   s.wall_start_us = last_stage_end_us_ < 0 ? now_us : last_stage_end_us_;
   if (s.wall_start_us > now_us) s.wall_start_us = now_us;
@@ -23,11 +24,12 @@ void Cluster::RecordStage(StageStats s) {
 }
 
 Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
-  return CheckMemoryBytes(ds.PartitionBytes(), op);
+  return CheckMemoryBytes(ds.PartitionBytes(num_threads_), op);
 }
 
 Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
                                  const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t b : partition_bytes) {
     stats_.NotePeakPartitionBytes(b);
     if (b > config_.partition_memory_cap) {

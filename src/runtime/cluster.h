@@ -4,6 +4,7 @@
 #ifndef TRANCE_RUNTIME_CLUSTER_H_
 #define TRANCE_RUNTIME_CLUSTER_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "runtime/stats.h"
 #include "util/hash.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace trance {
 namespace runtime {
@@ -35,13 +37,26 @@ struct ClusterConfig {
   double skew_sample_rate = 0.1;
   double heavy_key_threshold = 0.025;
   uint64_t seed = 42;
+  /// Threads for partition-parallel operator execution. 0 = auto (the
+  /// TRANCE_THREADS env var if set, else hardware_concurrency); 1 = fully
+  /// sequential (the pre-parallel code path, no pool involvement). The
+  /// thread count never affects results: outputs and all JobStats fields
+  /// are bit-identical across thread counts (see DESIGN.md, Threading
+  /// model).
+  int num_threads = 0;
 };
 
-/// Cluster state: configuration + per-job statistics. Not thread-safe; one
-/// Cluster per executing query.
+/// Cluster state: configuration + per-job statistics. One Cluster per
+/// executing query; stage recording, scope attribution and memory checks are
+/// mutex-guarded so operator internals may run partition-parallel. The
+/// stats() reference is only safe to read at stage barriers (i.e. between
+/// operator calls), which is where all callers read it.
 class Cluster {
  public:
-  explicit Cluster(ClusterConfig config) : config_(config) {
+  explicit Cluster(ClusterConfig config)
+      : config_(config),
+        num_threads_(config.num_threads > 0 ? config.num_threads
+                                            : util::DefaultNumThreads()) {
     TRANCE_CHECK(config_.num_partitions > 0, "cluster without partitions");
   }
   Cluster() : Cluster(ClusterConfig{}) {}
@@ -51,6 +66,17 @@ class Cluster {
   const JobStats& stats() const { return stats_; }
 
   int num_partitions() const { return config_.num_partitions; }
+  /// Resolved thread budget (config.num_threads, TRANCE_THREADS, or
+  /// hardware_concurrency — in that order of precedence).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(p) for p in [0, n) on the cluster's thread budget with a
+  /// barrier at return; num_threads() == 1 runs inline. Operators keep all
+  /// shared state indexed by p and merge after the barrier in partition
+  /// order, which is what keeps parallel stats bit-identical to sequential.
+  void RunParallel(size_t n, const std::function<void(size_t)>& fn) const {
+    util::ParallelFor(num_threads_, n, fn);
+  }
 
   /// Records a finished stage, deriving its simulated time from the cost
   /// model, stamping its wall-time interval, and attributing it to the
@@ -77,18 +103,24 @@ class Cluster {
   /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
   /// ANALYZE): stages recorded while a scope is active carry its name.
   void PushScope(std::string scope) {
+    std::lock_guard<std::mutex> lock(mu_);
     scope_stack_.push_back(std::move(scope));
   }
   void PopScope() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!scope_stack_.empty()) scope_stack_.pop_back();
   }
-  const std::string& current_scope() const {
-    static const std::string kEmpty;
-    return scope_stack_.empty() ? kEmpty : scope_stack_.back();
+  std::string current_scope() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scope_stack_.empty() ? std::string() : scope_stack_.back();
   }
 
  private:
   ClusterConfig config_;
+  int num_threads_;
+  /// Guards stats_, scope_stack_ and last_stage_end_us_ (RecordStage and
+  /// CheckMemoryBytes may be reached from concurrent helper code).
+  mutable std::mutex mu_;
   JobStats stats_;
   std::vector<std::string> scope_stack_;
   /// End timestamp (WallMicros) of the last recorded stage: the next stage's

@@ -9,6 +9,7 @@
 
 #include "runtime/field.h"
 #include "runtime/schema.h"
+#include "util/thread_pool.h"
 
 namespace trance {
 namespace runtime {
@@ -41,22 +42,23 @@ struct Dataset {
     for (const auto& p : partitions) n += p.size();
     return n;
   }
-  uint64_t DeepSizeBytes() const {
+  /// Total deep-size footprint. The accounting walk recurses into nested
+  /// bags and is a hot path; `num_threads > 1` sizes partitions
+  /// concurrently (per-partition slots summed in partition order, so the
+  /// result is identical for any thread count).
+  uint64_t DeepSizeBytes(int num_threads = 1) const {
     uint64_t s = 0;
-    for (const auto& p : partitions) {
-      for (const auto& r : p) s += RowDeepSize(r);
-    }
+    for (uint64_t b : PartitionBytes(num_threads)) s += b;
     return s;
   }
   /// Byte footprint of each partition.
-  std::vector<uint64_t> PartitionBytes() const {
-    std::vector<uint64_t> out;
-    out.reserve(partitions.size());
-    for (const auto& p : partitions) {
+  std::vector<uint64_t> PartitionBytes(int num_threads = 1) const {
+    std::vector<uint64_t> out(partitions.size(), 0);
+    util::ParallelFor(num_threads, partitions.size(), [&](size_t i) {
       uint64_t s = 0;
-      for (const auto& r : p) s += RowDeepSize(r);
-      out.push_back(s);
-    }
+      for (const auto& r : partitions[i]) s += RowDeepSize(r);
+      out[i] = s;
+    });
     return out;
   }
   /// All rows gathered into one vector (tests / result collection).

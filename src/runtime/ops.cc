@@ -12,7 +12,10 @@ namespace runtime {
 namespace {
 
 /// Accumulates per-partition processed bytes and finalizes max/total plus
-/// the per-partition work histogram.
+/// the per-partition work histogram. Add() is called from partition-parallel
+/// loops: each task writes only its own slot p, and Finalize() (called after
+/// the stage barrier) folds the slots in partition order — so the resulting
+/// stats are bit-identical to a sequential run.
 class WorkMeter {
  public:
   explicit WorkMeter(size_t parts) : work_(parts, 0) {}
@@ -29,6 +32,19 @@ class WorkMeter {
   std::vector<uint64_t> work_;
 };
 
+/// Per-partition row counter, folded into stage.rows_in at the barrier.
+class RowCounter {
+ public:
+  explicit RowCounter(size_t parts) : rows_(parts, 0) {}
+  void Add(size_t p, uint64_t n) { rows_[p] += n; }
+  void Finalize(StageStats* s) const {
+    for (uint64_t n : rows_) s->rows_in += n;
+  }
+
+ private:
+  std::vector<uint64_t> rows_;
+};
+
 /// Accumulates `add` into `into[i]`, growing the histogram on first use (a
 /// stage may run several shuffles, e.g. both sides of a join).
 void AccumulateHistogram(std::vector<uint64_t>* into,
@@ -37,37 +53,81 @@ void AccumulateHistogram(std::vector<uint64_t>* into,
   for (size_t i = 0; i < add.size(); ++i) (*into)[i] += add[i];
 }
 
-uint64_t PartBytes(const std::vector<Row>& rows) {
-  uint64_t s = 0;
-  for (const auto& r : rows) s += RowDeepSize(r);
-  return s;
-}
+/// Row lists entering an operator's partition-local phase, with the
+/// deep-size footprint of each partition. The bytes ride along from the
+/// shuffle (where every row was sized exactly once) so the work meter and
+/// memory check never re-walk rows a shuffle already sized.
+struct ShuffledParts {
+  std::vector<std::vector<Row>> parts;
+  std::vector<uint64_t> bytes;
+};
 
 /// Hash-shuffles `in` to num_partitions buckets keyed on key_cols, recording
-/// exact cross-partition movement into `stage`. If the input already carries
-/// the matching guarantee, rows stay in place (and, by hashing consistency,
-/// would anyway).
-std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
-                                           const std::vector<int>& key_cols,
-                                           StageStats* stage) {
-  const int n = cluster->num_partitions();
-  std::vector<std::vector<Row>> out(static_cast<size_t>(n));
-  std::vector<uint64_t> recv(static_cast<size_t>(n), 0);
-  std::vector<uint64_t> send(std::max(in.partitions.size(),
-                                      static_cast<size_t>(n)),
-                             0);
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+/// exact cross-partition movement into `stage`. Two-phase and
+/// partition-parallel:
+///   1. each input partition buckets its rows by target partition into its
+///      own bucket set, sizing every row once (the size feeds movement
+///      accounting and the output footprint);
+///   2. each target partition concatenates its buckets in fixed
+///      input-partition order.
+/// Phase 2's fixed order reproduces the sequential row order exactly, and
+/// the movement histograms are merged in partition order at the phase-1
+/// barrier, so output and stats are identical for any thread count.
+ShuffledParts ShuffleByKey(Cluster* cluster, const Dataset& in,
+                           const std::vector<int>& key_cols,
+                           StageStats* stage) {
+  const size_t n = static_cast<size_t>(cluster->num_partitions());
+  const size_t in_n = in.partitions.size();
+
+  struct SourceBuckets {
+    std::vector<std::vector<Row>> rows;  // [target]
+    std::vector<uint64_t> bytes;         // [target] all routed bytes
+    std::vector<uint64_t> moved;         // [target] bytes that changed partition
+    uint64_t sent = 0;                   // total bytes leaving this partition
+  };
+  std::vector<SourceBuckets> buckets(in_n);
+  cluster->RunParallel(in_n, [&](size_t p) {
+    SourceBuckets& b = buckets[p];
+    b.rows.resize(n);
+    b.bytes.assign(n, 0);
+    b.moved.assign(n, 0);
     for (const auto& row : in.partitions[p]) {
-      int target = cluster->PartitionOf(RowHashOn(row, key_cols));
-      if (static_cast<size_t>(target) != p) {
-        uint64_t b = RowDeepSize(row);
-        stage->shuffle_bytes += b;
-        recv[static_cast<size_t>(target)] += b;
-        send[p] += b;
+      size_t target = static_cast<size_t>(
+          cluster->PartitionOf(RowHashOn(row, key_cols)));
+      uint64_t sz = RowDeepSize(row);
+      b.bytes[target] += sz;
+      if (target != p) {
+        b.moved[target] += sz;
+        b.sent += sz;
       }
-      out[static_cast<size_t>(target)].push_back(row);
+      b.rows[target].push_back(row);
     }
+  });
+
+  std::vector<uint64_t> recv(n, 0);
+  std::vector<uint64_t> send(std::max(in_n, n), 0);
+  for (size_t p = 0; p < in_n; ++p) {
+    send[p] = buckets[p].sent;
+    stage->shuffle_bytes += buckets[p].sent;
+    for (size_t t = 0; t < n; ++t) recv[t] += buckets[p].moved[t];
   }
+
+  ShuffledParts out;
+  out.parts.resize(n);
+  out.bytes.assign(n, 0);
+  cluster->RunParallel(n, [&](size_t t) {
+    size_t total = 0;
+    for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
+    out.parts[t].reserve(total);
+    for (size_t p = 0; p < in_n; ++p) {
+      auto& src = buckets[p].rows[t];
+      out.parts[t].insert(out.parts[t].end(),
+                          std::make_move_iterator(src.begin()),
+                          std::make_move_iterator(src.end()));
+      out.bytes[t] += buckets[p].bytes[t];
+    }
+  });
+
   for (uint64_t b : recv) {
     if (b > stage->max_partition_recv_bytes) {
       stage->max_partition_recv_bytes = b;
@@ -77,6 +137,21 @@ std::vector<std::vector<Row>> ShuffleByKey(Cluster* cluster, const Dataset& in,
   AccumulateHistogram(&stage->partition_recv_bytes, recv);
   AccumulateHistogram(&stage->partition_send_bytes, send);
   return out;
+}
+
+/// Shuffle path of operators that group/join on `key_cols`: reuses the input
+/// partitions (zero movement — and still one sizing walk for the work meter)
+/// when the guarantee already holds, otherwise hash-shuffles.
+ShuffledParts ShuffleOrReuse(Cluster* cluster, const Dataset& in,
+                             const std::vector<int>& key_cols,
+                             StageStats* stage) {
+  if (in.partitioning.IsHashOn(key_cols)) {
+    ShuffledParts out;
+    out.parts = in.partitions;
+    out.bytes = in.PartitionBytes(cluster->num_threads());
+    return out;
+  }
+  return ShuffleByKey(cluster, in, key_cols, stage);
 }
 
 /// Output schema of a join: left columns then right columns, right-side
@@ -93,16 +168,16 @@ Schema JoinSchema(const Schema& l, const Schema& r) {
 
 Row ConcatRows(const Row& l, const Row& r) {
   Row out;
-  out.fields.reserve(l.fields.size() + r.fields.size());
   out.fields = l.fields;
+  out.fields.reserve(l.fields.size() + r.fields.size());
   out.fields.insert(out.fields.end(), r.fields.begin(), r.fields.end());
   return out;
 }
 
 Row NullPadRight(const Row& l, size_t right_width) {
   Row out;
-  out.fields.reserve(l.fields.size() + right_width);
   out.fields = l.fields;
+  out.fields.reserve(l.fields.size() + right_width);
   for (size_t i = 0; i < right_width; ++i) out.fields.push_back(Field::Null());
   return out;
 }
@@ -116,9 +191,10 @@ bool HasNullKey(const Row& r, const std::vector<int>& cols) {
 
 /// Partition-local hash join of two row lists. `right_width` is the right
 /// schema's width (an empty right partition must still NULL-pad fully).
-void LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
-               const std::vector<int>& lk, const std::vector<int>& rk,
-               JoinType type, size_t right_width, std::vector<Row>* out) {
+/// Returns the deep-size footprint of the rows it appended.
+uint64_t LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
+                   const std::vector<int>& lk, const std::vector<int>& rk,
+                   JoinType type, size_t right_width, std::vector<Row>* out) {
   std::unordered_map<KeyView, std::vector<const Row*>, KeyViewHash, KeyViewEq>
       built;
   built.reserve(right.size());
@@ -126,25 +202,39 @@ void LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
     if (HasNullKey(r, rk)) continue;
     built[ExtractKey(r, rk)].push_back(&r);
   }
+  uint64_t out_bytes = 0;
   for (const auto& l : left) {
     bool matched = false;
     if (!HasNullKey(l, lk)) {
       auto it = built.find(ExtractKey(l, lk));
       if (it != built.end()) {
         matched = true;
-        for (const Row* r : it->second) out->push_back(ConcatRows(l, *r));
+        for (const Row* r : it->second) {
+          out->push_back(ConcatRows(l, *r));
+          out_bytes += RowDeepSize(out->back());
+        }
       }
     }
     if (!matched && type == JoinType::kLeftOuter) {
       out->push_back(NullPadRight(l, right_width));
+      out_bytes += RowDeepSize(out->back());
     }
   }
+  return out_bytes;
 }
 
+/// Stage barrier: finalizes row counts, stamps the memory high-water mark,
+/// records the stage and enforces the per-partition cap. `part_bytes`, when
+/// provided, is the precomputed footprint of `result`'s partitions (from the
+/// operator's own single sizing pass); when empty the result is walked here
+/// (in parallel).
 Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
-                   const std::string& name) {
+                   const std::string& name,
+                   std::vector<uint64_t> part_bytes = {}) {
   stage.rows_out = result->NumRows();
-  std::vector<uint64_t> part_bytes = result->PartitionBytes();
+  if (part_bytes.empty()) {
+    part_bytes = result->PartitionBytes(cluster->num_threads());
+  }
   for (uint64_t b : part_bytes) {
     if (b > stage.mem_high_water_bytes) stage.mem_high_water_bytes = b;
   }
@@ -206,18 +296,25 @@ StatusOr<Dataset> MapRows(Cluster* cluster, const Dataset& in,
                                             : out_partitioning;
   StageStats stage;
   stage.op = name;
-  WorkMeter work(in.partitions.size());
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  const size_t nparts = in.partitions.size();
+  WorkMeter work(nparts);
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     out.partitions[p].reserve(in.partitions[p].size());
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
       Row mapped = fn(row);
-      work.Add(p, RowDeepSize(row) + RowDeepSize(mapped));
+      uint64_t mapped_bytes = RowDeepSize(mapped);
+      work.Add(p, RowDeepSize(row) + mapped_bytes);
+      out_bytes[p] += mapped_bytes;
       out.partitions[p].push_back(std::move(mapped));
     }
-  }
+  });
+  rows_in.Finalize(&stage);
   work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -229,16 +326,25 @@ StatusOr<Dataset> FilterRows(Cluster* cluster, const Dataset& in,
   out.partitioning = in.partitioning;
   StageStats stage;
   stage.op = name;
-  WorkMeter work(in.partitions.size());
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  const size_t nparts = in.partitions.size();
+  WorkMeter work(nparts);
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
-      work.Add(p, RowDeepSize(row));
-      if (pred(row)) out.partitions[p].push_back(row);
+      uint64_t sz = RowDeepSize(row);
+      work.Add(p, sz);
+      if (pred(row)) {
+        out_bytes[p] += sz;
+        out.partitions[p].push_back(row);
+      }
     }
-  }
+  });
+  rows_in.Finalize(&stage);
   work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -251,21 +357,27 @@ StatusOr<Dataset> FlatMapRows(Cluster* cluster, const Dataset& in,
   out.partitioning = Partitioning::None();
   StageStats stage;
   stage.op = name;
-  WorkMeter work(in.partitions.size());
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  const size_t nparts = in.partitions.size();
+  WorkMeter work(nparts);
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
       size_t before = out.partitions[p].size();
       fn(row, &out.partitions[p]);
       uint64_t produced = 0;
       for (size_t i = before; i < out.partitions[p].size(); ++i) {
         produced += RowDeepSize(out.partitions[p][i]);
       }
+      out_bytes[p] += produced;
       work.Add(p, RowDeepSize(row) + produced);
     }
-  }
+  });
+  rows_in.Finalize(&stage);
   work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -275,20 +387,18 @@ StatusOr<Dataset> Repartition(Cluster* cluster, const Dataset& in,
   StageStats stage;
   stage.op = name;
   stage.rows_in = in.NumRows();
+  ShuffledParts sp = ShuffleOrReuse(cluster, in, key_cols, &stage);
   Dataset out;
   out.schema = in.schema;
-  if (in.partitioning.IsHashOn(key_cols)) {
-    out.partitions = in.partitions;  // guarantee already holds: no movement
-  } else {
-    out.partitions = ShuffleByKey(cluster, in, key_cols, &stage);
-  }
+  out.partitions = std::move(sp.parts);
   out.partitioning = Partitioning::Hash(std::move(key_cols));
   WorkMeter work(out.partitions.size());
   for (size_t p = 0; p < out.partitions.size(); ++p) {
-    work.Add(p, PartBytes(out.partitions[p]));
+    work.Add(p, sp.bytes[p]);
   }
   work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(sp.bytes)));
   return out;
 }
 
@@ -299,28 +409,24 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   StageStats stage;
   stage.op = name;
   stage.rows_in = left.NumRows() + right.NumRows();
-  std::vector<std::vector<Row>> lparts =
-      left.partitioning.IsHashOn(left_keys)
-          ? left.partitions
-          : ShuffleByKey(cluster, left, left_keys, &stage);
-  std::vector<std::vector<Row>> rparts =
-      right.partitioning.IsHashOn(right_keys)
-          ? right.partitions
-          : ShuffleByKey(cluster, right, right_keys, &stage);
+  ShuffledParts lsp = ShuffleOrReuse(cluster, left, left_keys, &stage);
+  ShuffledParts rsp = ShuffleOrReuse(cluster, right, right_keys, &stage);
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);
-  out.partitions.resize(lparts.size());
-  WorkMeter work(lparts.size());
-  for (size_t p = 0; p < lparts.size(); ++p) {
-    LocalJoin(lparts[p], rparts[p], left_keys, right_keys, type,
-              right.schema.size(), &out.partitions[p]);
-    work.Add(p, PartBytes(lparts[p]) + PartBytes(rparts[p]) +
-                    PartBytes(out.partitions[p]));
-  }
+  const size_t nparts = lsp.parts.size();
+  out.partitions.resize(nparts);
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    out_bytes[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
+                             type, right.schema.size(), &out.partitions[p]);
+    work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
+  });
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -332,10 +438,13 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   StageStats stage;
   stage.op = name;
   stage.rows_in = left.NumRows() + right.NumRows();
-  // The broadcast replicates the right side to every partition.
+  // The broadcast replicates the right side to every partition. One parallel
+  // sizing pass covers the movement accounting and the send histogram.
   std::vector<Row> bcast = right.Collect();
+  std::vector<uint64_t> right_bytes =
+      right.PartitionBytes(cluster->num_threads());
   uint64_t bcast_bytes = 0;
-  for (const auto& r : bcast) bcast_bytes += RowDeepSize(r);
+  for (uint64_t b : right_bytes) bcast_bytes += b;
   const uint64_t n = static_cast<uint64_t>(cluster->num_partitions());
   stage.shuffle_bytes += bcast_bytes * n;
   stage.max_partition_recv_bytes =
@@ -349,25 +458,29 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   {
     std::vector<uint64_t> send(right.partitions.size(), 0);
     for (size_t p = 0; p < right.partitions.size(); ++p) {
-      send[p] = PartBytes(right.partitions[p]) * n;
+      send[p] = right_bytes[p] * n;
     }
     AccumulateHistogram(&stage.partition_send_bytes, send);
   }
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);
-  out.partitions.resize(left.partitions.size());
-  WorkMeter work(left.partitions.size());
-  for (size_t p = 0; p < left.partitions.size(); ++p) {
-    LocalJoin(left.partitions[p], bcast, left_keys, right_keys, type,
-              right.schema.size(), &out.partitions[p]);
-    work.Add(p, PartBytes(left.partitions[p]) + bcast_bytes +
-                    PartBytes(out.partitions[p]));
-  }
+  const size_t nparts = left.partitions.size();
+  out.partitions.resize(nparts);
+  WorkMeter work(nparts);
+  std::vector<uint64_t> left_bytes =
+      left.PartitionBytes(cluster->num_threads());
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    out_bytes[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
+                             type, right.schema.size(), &out.partitions[p]);
+    work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
+  });
   work.Finalize(&stage);
   // Left rows did not move: the left guarantee (if any) is preserved.
   out.partitioning = left.partitioning;
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -388,10 +501,7 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   StageStats stage;
   stage.op = name;
   stage.rows_in = in.NumRows();
-  std::vector<std::vector<Row>> parts =
-      in.partitioning.IsHashOn(key_cols)
-          ? in.partitions
-          : ShuffleByKey(cluster, in, key_cols, &stage);
+  ShuffledParts sp = ShuffleOrReuse(cluster, in, key_cols, &stage);
 
   Schema out_schema;
   for (int c : key_cols) {
@@ -407,12 +517,14 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
 
   Dataset out;
   out.schema = out_schema;
-  out.partitions.resize(parts.size());
-  WorkMeter work(parts.size());
-  for (size_t p = 0; p < parts.size(); ++p) {
+  const size_t nparts = sp.parts.size();
+  out.partitions.resize(nparts);
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
     std::vector<std::pair<KeyView, std::vector<Row>>> groups;
-    for (const auto& row : parts[p]) {
+    for (const auto& row : sp.parts[p]) {
       KeyView k = ExtractKey(row, key_cols);
       auto [it, inserted] = index.try_emplace(k, groups.size());
       if (inserted) groups.emplace_back(k, std::vector<Row>{});
@@ -438,10 +550,11 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
       Row row;
       row.fields = k.fields;
       row.fields.push_back(Field::Bag(std::move(members)));
+      out_bytes[p] += RowDeepSize(row);
       out.partitions[p].push_back(std::move(row));
     }
-    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
-  }
+    work.Add(p, sp.bytes[p] + out_bytes[p]);
+  });
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(
       [&] {
@@ -451,7 +564,8 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         }
         return cols;
       }());
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -461,22 +575,28 @@ StatusOr<Dataset> AddIndexColumn(Cluster* cluster, const Dataset& in,
   Dataset out;
   out.schema = in.schema;
   out.schema.Append({id_col_name, nrc::Type::Int()});
-  out.partitions.resize(in.partitions.size());
+  const size_t nparts = in.partitions.size();
+  out.partitions.resize(nparts);
   out.partitioning = in.partitioning;
   StageStats stage;
   stage.op = name;
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     int64_t idx = 0;
     out.partitions[p].reserve(in.partitions[p].size());
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
       Row r = row;
       r.fields.push_back(
           Field::Int((static_cast<int64_t>(p) << 40) | idx++));
+      out_bytes[p] += RowDeepSize(r);
       out.partitions[p].push_back(std::move(r));
     }
-  }
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  });
+  rows_in.Finalize(&stage);
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -504,6 +624,8 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   // Local aggregation of one row list into (key, sums) rows. A row whose
   // value fields are all NULL marks an outer miss: it creates the group but
   // contributes nothing; groups with no contribution emit NULL values.
+  // Reads only its arguments and the (const) captured column metadata, so
+  // the partition-parallel loops below may share it.
   struct Acc {
     std::vector<double> sums;
     bool seen = false;
@@ -562,21 +684,28 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
     return out;
   };
 
-  WorkMeter work(in.partitions.size());
+  const size_t in_parts = in.partitions.size();
+  WorkMeter work(in_parts);
   Dataset partial;
   partial.schema = out_schema;
-  partial.partitions.resize(in.partitions.size());
+  partial.partitions.resize(in_parts);
   if (map_side_combine) {
-    for (size_t p = 0; p < in.partitions.size(); ++p) {
+    std::vector<uint64_t> in_bytes = in.PartitionBytes(cluster->num_threads());
+    cluster->RunParallel(in_parts, [&](size_t p) {
       partial.partitions[p] = aggregate(in.partitions[p], false);
-      work.Add(p, PartBytes(in.partitions[p]) +
-                      PartBytes(partial.partitions[p]));
-    }
+      uint64_t partial_bytes = 0;
+      for (const auto& r : partial.partitions[p]) {
+        partial_bytes += RowDeepSize(r);
+      }
+      work.Add(p, in_bytes[p] + partial_bytes);
+    });
   } else {
     // Reshape rows to (key, value) layout without combining.
-    for (size_t p = 0; p < in.partitions.size(); ++p) {
+    cluster->RunParallel(in_parts, [&](size_t p) {
       partial.partitions[p].reserve(in.partitions[p].size());
+      uint64_t in_bytes = 0;
       for (const auto& row : in.partitions[p]) {
+        in_bytes += RowDeepSize(row);
         Row r;
         for (int c : key_cols) {
           r.fields.push_back(row.fields[static_cast<size_t>(c)]);
@@ -588,39 +717,35 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
         }
         partial.partitions[p].push_back(std::move(r));
       }
-      work.Add(p, PartBytes(in.partitions[p]));
-    }
+      work.Add(p, in_bytes);
+    });
   }
-  partial.partitioning =
-      in.partitioning.IsHashOn(key_cols)
-          ? Partitioning::Hash([&] {
-              std::vector<int> cols;
-              for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
-                cols.push_back(i);
-              }
-              return cols;
-            }())
-          : Partitioning::None();
-
   std::vector<int> partial_keys;
   for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
     partial_keys.push_back(i);
   }
-  std::vector<std::vector<Row>> parts =
-      partial.partitioning.IsHashOn(partial_keys)
-          ? partial.partitions
-          : ShuffleByKey(cluster, partial, partial_keys, &stage);
+  partial.partitioning = in.partitioning.IsHashOn(key_cols)
+                             ? Partitioning::Hash(partial_keys)
+                             : Partitioning::None();
+
+  ShuffledParts sp = ShuffleOrReuse(cluster, partial, partial_keys, &stage);
 
   Dataset out;
   out.schema = out_schema;
-  out.partitions.resize(parts.size());
-  for (size_t p = 0; p < parts.size(); ++p) {
-    out.partitions[p] = aggregate(parts[p], true);
-    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
-  }
+  const size_t nparts = sp.parts.size();
+  out.partitions.resize(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    out.partitions[p] = aggregate(sp.parts[p], true);
+    for (const auto& r : out.partitions[p]) {
+      out_bytes[p] += RowDeepSize(r);
+    }
+    work.Add(p, sp.bytes[p] + out_bytes[p]);
+  });
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(partial_keys);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -655,13 +780,16 @@ StatusOr<Dataset> Unnest(Cluster* cluster, const Dataset& in, int bag_col,
   TRANCE_ASSIGN_OR_RETURN(Schema out_schema, UnnestSchema(in.schema, bag_col, ""));
   Dataset out;
   out.schema = std::move(out_schema);
-  out.partitions.resize(in.partitions.size());
+  const size_t nparts = in.partitions.size();
+  out.partitions.resize(nparts);
   StageStats stage;
   stage.op = name;
-  WorkMeter work(in.partitions.size());
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  WorkMeter work(nparts);
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
       work.Add(p, RowDeepSize(row));
       const Field& bag = row.fields[static_cast<size_t>(bag_col)];
       if (!bag.is_bag() || bag.AsBag() == nullptr) continue;
@@ -673,14 +801,18 @@ StatusOr<Dataset> Unnest(Cluster* cluster, const Dataset& in, int bag_col,
           r.fields.push_back(row.fields[i]);
         }
         for (const auto& f : inner.fields) r.fields.push_back(f);
-        work.Add(p, RowDeepSize(r));
+        uint64_t sz = RowDeepSize(r);
+        work.Add(p, sz);
+        out_bytes[p] += sz;
         out.partitions[p].push_back(std::move(r));
       }
     }
-  }
+  });
+  rows_in.Finalize(&stage);
   work.Finalize(&stage);
   out.partitioning = Partitioning::None();
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -694,14 +826,17 @@ StatusOr<Dataset> OuterUnnest(Cluster* cluster, const Dataset& in, int bag_col,
                        (in.schema.size() - 1);
   Dataset out;
   out.schema = std::move(out_schema);
-  out.partitions.resize(in.partitions.size());
+  const size_t nparts = in.partitions.size();
+  out.partitions.resize(nparts);
   StageStats stage;
   stage.op = name;
-  WorkMeter work(in.partitions.size());
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
+  WorkMeter work(nparts);
+  RowCounter rows_in(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     int64_t idx = 0;
+    rows_in.Add(p, in.partitions[p].size());
     for (const auto& row : in.partitions[p]) {
-      ++stage.rows_in;
       work.Add(p, RowDeepSize(row));
       int64_t uid = (static_cast<int64_t>(p) << 40) | idx++;
       const Field& bag = row.fields[static_cast<size_t>(bag_col)];
@@ -720,7 +855,9 @@ StatusOr<Dataset> OuterUnnest(Cluster* cluster, const Dataset& in, int bag_col,
             r.fields.push_back(Field::Null());
           }
         }
-        work.Add(p, RowDeepSize(r));
+        uint64_t sz = RowDeepSize(r);
+        work.Add(p, sz);
+        out_bytes[p] += sz;
         out.partitions[p].push_back(std::move(r));
       };
       if (!bag.is_bag() || bag.AsBag() == nullptr || bag.AsBag()->empty()) {
@@ -729,10 +866,12 @@ StatusOr<Dataset> OuterUnnest(Cluster* cluster, const Dataset& in, int bag_col,
         for (const auto& inner : *bag.AsBag()) emit(&inner);
       }
     }
-  }
+  });
+  rows_in.Finalize(&stage);
   work.Finalize(&stage);
   out.partitioning = Partitioning::None();
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -743,16 +882,21 @@ StatusOr<Dataset> UnionAll(Cluster* cluster, const Dataset& a,
   }
   Dataset out;
   out.schema = a.schema;
-  out.partitions.resize(
-      std::max(a.partitions.size(), b.partitions.size()));
-  for (size_t p = 0; p < a.partitions.size(); ++p) {
-    out.partitions[p].insert(out.partitions[p].end(), a.partitions[p].begin(),
-                             a.partitions[p].end());
-  }
-  for (size_t p = 0; p < b.partitions.size(); ++p) {
-    out.partitions[p].insert(out.partitions[p].end(), b.partitions[p].begin(),
-                             b.partitions[p].end());
-  }
+  const size_t nparts = std::max(a.partitions.size(), b.partitions.size());
+  out.partitions.resize(nparts);
+  cluster->RunParallel(nparts, [&](size_t p) {
+    size_t total = (p < a.partitions.size() ? a.partitions[p].size() : 0) +
+                   (p < b.partitions.size() ? b.partitions[p].size() : 0);
+    out.partitions[p].reserve(total);
+    if (p < a.partitions.size()) {
+      out.partitions[p].insert(out.partitions[p].end(),
+                               a.partitions[p].begin(), a.partitions[p].end());
+    }
+    if (p < b.partitions.size()) {
+      out.partitions[p].insert(out.partitions[p].end(),
+                               b.partitions[p].begin(), b.partitions[p].end());
+    }
+  });
   out.partitioning = Partitioning::None();
   StageStats stage;
   stage.op = name;
@@ -770,25 +914,28 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   for (int i = 0; i < static_cast<int>(in.schema.size()); ++i) {
     all_cols.push_back(i);
   }
-  std::vector<std::vector<Row>> parts =
-      in.partitioning.IsHashOn(all_cols)
-          ? in.partitions
-          : ShuffleByKey(cluster, in, all_cols, &stage);
+  ShuffledParts sp = ShuffleOrReuse(cluster, in, all_cols, &stage);
   Dataset out;
   out.schema = in.schema;
-  out.partitions.resize(parts.size());
-  WorkMeter work(parts.size());
-  for (size_t p = 0; p < parts.size(); ++p) {
+  const size_t nparts = sp.parts.size();
+  out.partitions.resize(nparts);
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     std::unordered_set<KeyView, KeyViewHash, KeyViewEq> seen;
-    for (const auto& row : parts[p]) {
+    for (const auto& row : sp.parts[p]) {
       KeyView k{row.fields};
-      if (seen.insert(k).second) out.partitions[p].push_back(row);
+      if (seen.insert(k).second) {
+        out_bytes[p] += RowDeepSize(row);
+        out.partitions[p].push_back(row);
+      }
     }
-    work.Add(p, PartBytes(parts[p]) + PartBytes(out.partitions[p]));
-  }
+    work.Add(p, sp.bytes[p] + out_bytes[p]);
+  });
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(all_cols));
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 
@@ -801,14 +948,8 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   StageStats stage;
   stage.op = name;
   stage.rows_in = left.NumRows() + right.NumRows();
-  std::vector<std::vector<Row>> lparts =
-      left.partitioning.IsHashOn(left_keys)
-          ? left.partitions
-          : ShuffleByKey(cluster, left, left_keys, &stage);
-  std::vector<std::vector<Row>> rparts =
-      right.partitioning.IsHashOn(right_keys)
-          ? right.partitions
-          : ShuffleByKey(cluster, right, right_keys, &stage);
+  ShuffledParts lsp = ShuffleOrReuse(cluster, left, left_keys, &stage);
+  ShuffledParts rsp = ShuffleOrReuse(cluster, right, right_keys, &stage);
 
   Schema out_schema = left.schema;
   std::vector<nrc::Field> bag_fields;
@@ -821,12 +962,14 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
 
   Dataset out;
   out.schema = std::move(out_schema);
-  out.partitions.resize(lparts.size());
-  WorkMeter work(lparts.size());
-  for (size_t p = 0; p < lparts.size(); ++p) {
+  const size_t nparts = lsp.parts.size();
+  out.partitions.resize(nparts);
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  cluster->RunParallel(nparts, [&](size_t p) {
     std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
         built;
-    for (const auto& r : rparts[p]) {
+    for (const auto& r : rsp.parts[p]) {
       if (HasNullKey(r, right_keys)) continue;
       Row proj;
       proj.fields.reserve(right_value_cols.size());
@@ -835,7 +978,7 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
       }
       built[ExtractKey(r, right_keys)].push_back(std::move(proj));
     }
-    for (const auto& l : lparts[p]) {
+    for (const auto& l : lsp.parts[p]) {
       Row row = l;
       auto it = HasNullKey(l, left_keys)
                     ? built.end()
@@ -845,14 +988,17 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
       } else {
         row.fields.push_back(Field::Bag(it->second));
       }
-      work.Add(p, RowDeepSize(row));
+      uint64_t sz = RowDeepSize(row);
+      work.Add(p, sz);
+      out_bytes[p] += sz;
       out.partitions[p].push_back(std::move(row));
     }
-    work.Add(p, PartBytes(lparts[p]) + PartBytes(rparts[p]));
-  }
+    work.Add(p, lsp.bytes[p] + rsp.bytes[p]);
+  });
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
+  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
+                                   std::move(out_bytes)));
   return out;
 }
 

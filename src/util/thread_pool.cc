@@ -1,0 +1,156 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace trance {
+namespace util {
+
+ThreadPool::ThreadPool(int num_workers) {
+  EnsureWorkers(num_workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(0);  // leaked: outlives all users
+  return *pool;
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  n = std::min(n, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor. Kept on the heap (shared_ptr) so a helper
+/// task that is dequeued only after the loop already finished can still run
+/// its (empty) claim loop safely.
+struct ForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  size_t chunk = 1;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // indexes claimed-and-retired; loop is over at done == n
+  std::exception_ptr error;
+
+  /// Claims chunks until the cursor is exhausted. Every claimed index is
+  /// counted retired even when fn threw earlier (claiming continues so the
+  /// done-count always reaches n — the caller's own claim loop drains
+  /// whatever the helpers never picked up).
+  void Run() {
+    for (;;) {
+      size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      size_t end = std::min(n, begin + chunk);
+      if (!failed.load(std::memory_order_relaxed)) {
+        for (size_t i = begin; i < end; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      done += end - begin;
+      if (done == n) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, int parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int helpers =
+      std::min({parallelism - 1, kMaxWorkers, static_cast<int>(n) - 1});
+  if (helpers <= 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  EnsureWorkers(helpers);
+
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  // ~4 chunks per participant: small enough for dynamic balance, large
+  // enough that the atomic cursor is not contended per index.
+  state->chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(helpers + 1) * 4));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < helpers; ++i) {
+      tasks_.emplace_back([state] { state->Run(); });
+    }
+  }
+  cv_.notify_all();
+  state->Run();  // the caller participates — no idle wait, no deadlock
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done == state->n; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(n, num_threads, fn);
+}
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("TRANCE_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace util
+}  // namespace trance

@@ -1,0 +1,85 @@
+// Shared thread pool + chunked ParallelFor for partition-parallel operator
+// execution (the multi-core substitute for the paper's 100-core Spark
+// cluster; Thrill-style bulk dataflow engines get their wins from exactly
+// this kind of partition-parallel operator loop).
+//
+// Determinism contract: ParallelFor(i) runs every index exactly once, with
+// no ordering guarantee *during* the loop but a full barrier at return. All
+// callers keep their accumulators indexed by loop index (one slot per
+// partition) and merge them after the barrier in fixed index order, so
+// results are bit-identical to a sequential run.
+//
+// num_threads <= 1 short-circuits to a plain inline loop on the calling
+// thread — no pool, no atomics, byte-for-byte the sequential engine.
+#ifndef TRANCE_UTIL_THREAD_POOL_H_
+#define TRANCE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trance {
+namespace util {
+
+/// A work queue drained by a fixed set of worker threads. "Work-stealing-ish":
+/// parallel loops are not pre-split per worker — participants repeatedly
+/// claim small chunks from a shared atomic cursor, so a straggler chunk never
+/// idles the other threads (cheap dynamic load balancing without deques).
+class ThreadPool {
+ public:
+  /// Pool with `num_workers` background threads (0 is allowed: every
+  /// ParallelFor then runs entirely on the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const;
+
+  /// Process-wide shared pool. Starts empty; EnsureWorkers (called by
+  /// ParallelFor below) grows it on demand up to kMaxWorkers.
+  static ThreadPool& Shared();
+
+  /// Grows the pool to at least `n` workers (capped at kMaxWorkers). Lets a
+  /// test request 8-way parallelism on a 1-core machine — oversubscription
+  /// is harmless for correctness/TSan coverage.
+  void EnsureWorkers(int n);
+
+  /// Runs fn(i) for every i in [0, n) using the calling thread plus up to
+  /// `parallelism - 1` pool workers; blocks until all indexes have run.
+  /// Chunks are claimed dynamically; the caller always participates, so the
+  /// loop completes even when every worker is busy (nested ParallelFor
+  /// cannot deadlock). The first exception thrown by `fn` is rethrown on the
+  /// calling thread after the barrier.
+  void ParallelFor(size_t n, int parallelism,
+                   const std::function<void(size_t)>& fn);
+
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Chunked parallel loop on the shared pool. `num_threads <= 1` (or n <= 1)
+/// runs the loop inline on the calling thread — the exact sequential path.
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// TRANCE_THREADS env override if set (> 0), else hardware_concurrency,
+/// else 1. The resolution used by ClusterConfig's num_threads = 0 default.
+int DefaultNumThreads();
+
+}  // namespace util
+}  // namespace trance
+
+#endif  // TRANCE_UTIL_THREAD_POOL_H_
