@@ -6,7 +6,9 @@
 //   4. aggregation pushdown past joins on/off — shredded nested-to-nested
 //      on skewed data;
 //   5. column pruning on/off — shredded nested-to-flat, 4 levels;
-//   6. heavy-key threshold sweep — skew-aware join at skew factor 3.
+//   6. heavy-key threshold sweep — skew-aware join at skew factor 3;
+//   7. narrow-stage fusion on/off — standard flat-to-nested, both the fused
+//      single-pass chains and the per-operator materializing baseline.
 #include <optional>
 
 #include "bench_common.h"
@@ -192,6 +194,18 @@ int main() {
                    opts, shred::MaterializeMode::kDomainElimination,
                    ccfg));
     }
+  }
+  // 7. Narrow-stage fusion.
+  {
+    PrintHeader("Ablation 7: narrow-stage fusion (standard flat-to-nested d2)");
+    Prepared p = Prepare(2, 0.0);
+    auto q = tpch::FlatToNested(2, tpch::Width::kNarrow).ValueOrDie();
+    exec::PipelineOptions on;
+    rec(RunStd("stage fusion ON", p, q, on, false));
+    exec::PipelineOptions off;
+    off.exec.enable_stage_fusion = false;
+    rec(RunStd("stage fusion OFF (materialize between narrow ops)", p, q,
+               off, false));
   }
   TRANCE_CHECK(WriteBenchReport("ablations", all).ok(), "bench report");
   return 0;

@@ -109,6 +109,8 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.shuffle_bytes = stats.total_shuffle_bytes();
   r.max_stage_shuffle = stats.max_stage_shuffle_bytes();
   r.peak_partition = stats.peak_partition_bytes();
+  r.fused_stages = stats.fused_stages();
+  r.intermediate_bytes_avoided = stats.intermediate_bytes_avoided();
   r.stats = stats;
   r.ok = st.ok();
   if (!st.ok()) r.fail_reason = st.ToString();
@@ -204,6 +206,10 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.max_stage_shuffle);
     w.Key("peak_partition_bytes");
     w.Uint(r.peak_partition);
+    w.Key("fused_stages");
+    w.Uint(r.fused_stages);
+    w.Key("intermediate_bytes_avoided");
+    w.Uint(r.intermediate_bytes_avoided);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

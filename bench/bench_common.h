@@ -36,6 +36,10 @@ struct RunResult {
   uint64_t shuffle_bytes = 0;
   uint64_t max_stage_shuffle = 0;
   uint64_t peak_partition = 0;
+  /// Stage-fusion telemetry: stages that ran a fused narrow chain, and the
+  /// bytes of intermediate Datasets the fusion never materialized.
+  uint64_t fused_stages = 0;
+  uint64_t intermediate_bytes_avoided = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

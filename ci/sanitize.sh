@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI-style sanitizer pass: builds the tree with TRANCE_SANITIZE=ON
 # (ASan + UBSan) into its own build directory and runs the fast
-# observability suite (ctest label `obs`) under the sanitizers.
+# observability suite (ctest label `obs`) and the stage-fusion equivalence
+# suite (label `fusion`) under the sanitizers. TRANCE_WERROR keeps the
+# build warning-clean.
 #
 # Usage: ci/sanitize.sh [build-dir]   (default: build-sanitize)
 set -euo pipefail
@@ -9,6 +11,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
 
-cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=ON
-cmake --build "$BUILD_DIR" --target obs_test -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure -j"$(nproc)"
+cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=ON -DTRANCE_WERROR=ON
+cmake --build "$BUILD_DIR" --target obs_test fusion_test -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'obs|fusion' --output-on-failure -j"$(nproc)"

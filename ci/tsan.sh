@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI-style ThreadSanitizer pass: builds the tree with TRANCE_SANITIZE=thread
 # into its own build directory and runs the suites that exercise concurrency
-# (ctest labels `parallel` and `obs`) under TSan. The partition-parallel
+# (ctest labels `parallel`, `obs` and `fusion`) under TSan. The partition-parallel
 # runtime oversubscribes threads on small machines, so data races are
 # reachable (and reported) even on a single core.
 #
@@ -11,6 +11,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=thread
-cmake --build "$BUILD_DIR" --target parallel_test obs_test -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'parallel|obs' --output-on-failure -j"$(nproc)"
+cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=thread -DTRANCE_WERROR=ON
+cmake --build "$BUILD_DIR" --target parallel_test obs_test fusion_test -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'parallel|obs|fusion' --output-on-failure -j"$(nproc)"

@@ -1,9 +1,11 @@
 #include "exec/lowering.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "exec/scalar_compiler.h"
 #include "obs/explain.h"
+#include "util/strings.h"
 
 namespace trance {
 namespace exec {
@@ -130,7 +132,248 @@ StatusOr<std::string> Executor::ExecuteProgram(
   return last;
 }
 
+/// One fusible narrow operator chain accumulated over a materialized input.
+/// `light`/`heavy` are the per-component transform chains (they may differ:
+/// add-index only runs on the light side when the heavy component is empty);
+/// `schema` / partitionings / `heavy_keys` track what the chain's output will
+/// look like, mirroring exactly what the unfused per-operator lowering would
+/// have produced.
+struct Executor::Pending {
+  SkewTriple input;
+  std::vector<runtime::RowTransform> light;
+  std::vector<runtime::RowTransform> heavy;
+  Schema schema;
+  Partitioning light_part;
+  Partitioning heavy_part;
+  std::optional<skew::HeavyKeySet> heavy_keys;
+  /// Base operator names in chain order, for the fused stage label.
+  std::vector<std::string> ops;
+};
+
+Executor::Pending Executor::PendingFromTriple(SkewTriple t) {
+  Pending pd;
+  pd.schema = t.schema();
+  pd.light_part = t.light.partitioning;
+  pd.heavy_part = t.heavy.partitioning;
+  pd.heavy_keys = t.heavy_keys;
+  pd.input = std::move(t);
+  return pd;
+}
+
 StatusOr<SkewTriple> Executor::Exec(const plan::PlanPtr& p) {
+  TRANCE_ASSIGN_OR_RETURN(Pending pd, ExecPending(p));
+  return Flush(std::move(pd));
+}
+
+StatusOr<SkewTriple> Executor::Flush(Pending pd) {
+  if (pd.light.empty()) return std::move(pd.input);
+  const std::string base =
+      pd.ops.size() == 1 ? pd.ops[0] : "fused(" + Join(pd.ops, "+") + ")";
+  SkewTriple out;
+  TRANCE_ASSIGN_OR_RETURN(
+      out.light, runtime::RunStagePipeline(cluster_, pd.input.light, pd.schema,
+                                           pd.light, pd.light_part, base));
+  if (pd.heavy.empty()) {
+    // No heavy-side stages (the chain went all-light at an add-index): the
+    // empty heavy component passes through; only its schema is refreshed so
+    // the triple stays internally consistent.
+    out.heavy = std::move(pd.input.heavy);
+    out.heavy.schema = pd.schema;
+    out.heavy.partitioning = pd.heavy_part;
+  } else {
+    TRANCE_ASSIGN_OR_RETURN(
+        out.heavy,
+        runtime::RunStagePipeline(cluster_, pd.input.heavy, pd.schema,
+                                  pd.heavy, pd.heavy_part, base + ".h"));
+  }
+  out.heavy_keys = std::move(pd.heavy_keys);
+  return out;
+}
+
+StatusOr<Executor::Pending> Executor::ExecPending(const plan::PlanPtr& p) {
+  using K = PlanNode::Kind;
+  if (options_.enable_stage_fusion) {
+    switch (p->kind()) {
+      case K::kSelect:
+      case K::kOuterSelect:
+      case K::kProject:
+      case K::kExtend:
+      case K::kUnnest:
+      case K::kAddIndex:
+        return ExecPendingNarrow(p);
+      default:
+        break;
+    }
+  }
+  // Wide boundary (or fusion disabled): materialize.
+  TRANCE_ASSIGN_OR_RETURN(SkewTriple t, ExecNode(p));
+  return PendingFromTriple(std::move(t));
+}
+
+StatusOr<Executor::Pending> Executor::ExecPendingNarrow(
+    const plan::PlanPtr& p) {
+  using K = PlanNode::Kind;
+  // Pre-order node numbering must match the unfused walk: take this node's
+  // scope before descending into the child.
+  const std::string scope = obs::StageScopeName(scope_var_, next_node_id_++);
+  TRANCE_ASSIGN_OR_RETURN(Pending pd, ExecPending(p->child()));
+
+  auto add = [&pd, &scope](runtime::RowTransform lt, runtime::RowTransform ht,
+                           std::string op) {
+    lt.scope = scope;
+    ht.scope = scope;
+    pd.light.push_back(std::move(lt));
+    pd.heavy.push_back(std::move(ht));
+    pd.ops.push_back(std::move(op));
+  };
+
+  switch (p->kind()) {
+    case K::kSelect: {
+      TRANCE_ASSIGN_OR_RETURN(auto pred,
+                              CompilePredicate(p->cond(), pd.schema));
+      add(runtime::RowTransform::Filter("select", pred),
+          runtime::RowTransform::Filter("select.h", pred), "select");
+      return pd;
+    }
+
+    case K::kOuterSelect: {
+      TRANCE_ASSIGN_OR_RETURN(auto pred,
+                              CompilePredicate(p->cond(), pd.schema));
+      std::vector<bool> keep(pd.schema.size(), false);
+      for (const auto& name : p->keep_cols()) {
+        TRANCE_ASSIGN_OR_RETURN(int i, pd.schema.Require(name));
+        keep[static_cast<size_t>(i)] = true;
+      }
+      runtime::MapFn fn = [pred, keep](const Row& r) {
+        if (pred(r)) return r;
+        Row out = r;
+        for (size_t i = 0; i < out.fields.size(); ++i) {
+          if (!keep[i]) out.fields[i] = Field::Null();
+        }
+        return out;
+      };
+      add(runtime::RowTransform::Map("outer_select", fn),
+          runtime::RowTransform::Map("outer_select.h", fn), "outer_select");
+      return pd;
+    }
+
+    case K::kProject:
+    case K::kExtend: {
+      const bool extend = p->kind() == K::kExtend;
+      std::vector<ScalarFn> fns;
+      Schema out_schema;
+      if (extend) out_schema = pd.schema;
+      for (const auto& c : p->columns()) {
+        TRANCE_ASSIGN_OR_RETURN(ScalarFn f, CompileScalar(c.expr, pd.schema));
+        TRANCE_ASSIGN_OR_RETURN(nrc::TypePtr t,
+                                ScalarResultType(c.expr, pd.schema));
+        fns.push_back(std::move(f));
+        out_schema.Append({c.name, t});
+      }
+      runtime::MapFn map = [fns, extend](const Row& r) {
+        Row out;
+        out.fields.reserve((extend ? r.fields.size() : 0) + fns.size());
+        if (extend) out.fields = r.fields;
+        for (const auto& f : fns) out.fields.push_back(f(r));
+        return out;
+      };
+      if (!extend) {
+        pd.light_part =
+            ProjectPartitioning(pd.light_part, p->columns(), pd.schema);
+        pd.heavy_part =
+            ProjectPartitioning(pd.heavy_part, p->columns(), pd.schema);
+        if (pd.heavy_keys.has_value()) {
+          Partitioning mapped = ProjectPartitioning(
+              Partitioning::Hash(pd.heavy_keys->key_cols), p->columns(),
+              pd.schema);
+          if (mapped.kind == Partitioning::Kind::kHash) {
+            pd.heavy_keys->key_cols = mapped.key_cols;
+          } else {
+            pd.heavy_keys = std::nullopt;
+          }
+        }
+      }
+      add(runtime::RowTransform::Map(extend ? "extend" : "project", map),
+          runtime::RowTransform::Map(extend ? "extend.h" : "project.h", map),
+          extend ? "extend" : "project");
+      pd.schema = std::move(out_schema);
+      return pd;
+    }
+
+    case K::kUnnest: {
+      TRANCE_ASSIGN_OR_RETURN(int bag, pd.schema.Require(p->bag_col()));
+      const nrc::TypePtr& bag_t = pd.schema.col(static_cast<size_t>(bag)).type;
+      if (!bag_t->is_bag()) {
+        return Status::TypeError("unnest over non-bag column " + p->bag_col());
+      }
+      std::vector<std::string> inner_names;
+      if (bag_t->element()->is_tuple()) {
+        for (const auto& f : bag_t->element()->fields()) {
+          inner_names.push_back(p->alias() + "." + f.name);
+        }
+      } else {
+        inner_names.push_back(p->alias());
+      }
+      const std::string id_attr = p->outer() ? p->unnest_id_attr() : "";
+      TRANCE_ASSIGN_OR_RETURN(Schema out_schema,
+                              runtime::UnnestedSchema(pd.schema, bag, id_attr));
+      RenameTail(&out_schema, inner_names.size(), inner_names);
+      if (p->outer()) {
+        const bool with_id = !id_attr.empty();
+        size_t inner_width = out_schema.size() - (with_id ? 1 : 0) -
+                             (pd.schema.size() - 1);
+        add(runtime::RowTransform::OuterUnnest("unnest", bag, with_id,
+                                               inner_width),
+            runtime::RowTransform::OuterUnnest("unnest.h", bag, with_id,
+                                               inner_width),
+            "unnest");
+      } else {
+        add(runtime::RowTransform::Unnest("unnest", bag),
+            runtime::RowTransform::Unnest("unnest.h", bag), "unnest");
+      }
+      pd.schema = std::move(out_schema);
+      pd.light_part = Partitioning::None();
+      pd.heavy_part = Partitioning::None();
+      // Unnest removes the bag column: recorded heavy-key positions after it
+      // shift; conservatively drop them.
+      pd.heavy_keys = std::nullopt;
+      return pd;
+    }
+
+    case K::kAddIndex: {
+      if (pd.input.heavy.NumRows() == 0) {
+        // The merge the unfused path does is a no-op on an empty heavy
+        // component, so add-index fuses: ids come from the same
+        // per-partition counters the standalone operator uses, over the
+        // same rows in the same order. Light side only — the unfused path
+        // records no heavy stage here either.
+        runtime::RowTransform t = runtime::RowTransform::AddIndex("add_index");
+        t.scope = scope;
+        pd.light.push_back(std::move(t));
+        pd.ops.push_back("add_index");
+        pd.schema.Append({p->id_attr(), nrc::Type::Int()});
+        pd.heavy_part = Partitioning::None();
+        pd.heavy_keys = std::nullopt;
+        return pd;
+      }
+      // A non-empty heavy component must be concatenated into the light
+      // partitions before numbering — a real merge, which breaks fusion.
+      TRANCE_ASSIGN_OR_RETURN(SkewTriple in, Flush(std::move(pd)));
+      runtime::StageScope stage_scope(cluster_, scope);
+      TRANCE_ASSIGN_OR_RETURN(Dataset merged,
+                              skew::MergeTriple(cluster_, in, "addindex"));
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::AddIndexColumn(cluster_, merged, p->id_attr(),
+                                               "add_index"));
+      return PendingFromTriple(SkewTriple::AllLight(std::move(out)));
+    }
+
+    default:
+      return Status::Internal("ExecPendingNarrow on wide plan node");
+  }
+}
+
+StatusOr<SkewTriple> Executor::ExecNode(const plan::PlanPtr& p) {
   // Pre-order node numbering within the current assignment; every stage the
   // node's operators record is attributed to this scope.
   runtime::StageScope stage_scope(

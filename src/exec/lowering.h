@@ -31,6 +31,14 @@ struct ExecOptions {
   /// broadcast_threshold ("Broadcast operations are deferred to Spark, which
   /// broadcasts anything under 10MB").
   bool auto_broadcast = true;
+  /// Fuse chains of consecutive partition-local plan operators (select,
+  /// outer-select, project, extend, unnest, add-index) into single stages
+  /// that stream rows through the whole chain without materializing
+  /// intermediate Datasets — the Spark/Tungsten narrow-stage pipelining the
+  /// paper's generated bulk programs assume. Off = one stage per operator
+  /// (the historical behaviour), for ablations. Results and stats are
+  /// bit-identical either way, modulo stage count.
+  bool enable_stage_fusion = true;
 };
 
 /// Executes plans against named datasets registered on a cluster.
@@ -63,7 +71,26 @@ class Executor {
   const ExecOptions& options() const { return options_; }
 
  private:
+  /// A chain of fusible narrow transforms accumulated over a materialized
+  /// `input` triple but not yet run (the narrow-chain batcher of stage
+  /// fusion). Defined in lowering.cc.
+  struct Pending;
+
+  /// Executes `p` to a materialized triple (flushes any pending chain).
   StatusOr<skew::SkewTriple> Exec(const plan::PlanPtr& p);
+  /// Executes `p`, leaving a trailing chain of narrow operators unflushed so
+  /// a narrow parent can extend it. Wide operators and scans (stage-fusion
+  /// boundaries) return an empty chain over their materialized result.
+  StatusOr<Pending> ExecPending(const plan::PlanPtr& p);
+  /// ExecPending for the six fusible narrow kinds: appends this node's
+  /// transform to the child's pending chain.
+  StatusOr<Pending> ExecPendingNarrow(const plan::PlanPtr& p);
+  /// Runs a pending chain as one fused stage per skew component.
+  StatusOr<skew::SkewTriple> Flush(Pending pd);
+  /// The per-node lowering (one stage per operator); used for every node
+  /// when stage fusion is off, and for wide nodes always.
+  StatusOr<skew::SkewTriple> ExecNode(const plan::PlanPtr& p);
+  static Pending PendingFromTriple(skew::SkewTriple t);
 
   runtime::Cluster* cluster_;
   ExecOptions options_;

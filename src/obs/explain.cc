@@ -14,46 +14,85 @@ namespace obs {
 
 namespace {
 
+using runtime::FusedTransformStats;
 using runtime::StageStats;
 
-/// Stats of one plan operator, aggregated over the stages it recorded (a
-/// node may record several: e.g. a skew-aware join records split + light +
-/// heavy stages).
-struct NodeStats {
-  std::vector<const StageStats*> stages;
+/// One stage (or one transform of a fused stage) attributed to a plan node.
+/// A fused stage expands to one entry per transform, each under the
+/// transform's own scope; only the entry for the chain's last transform
+/// "owns" the stage, so stage-level metrics (shuffle, work histogram, sim
+/// time) are counted exactly once across the chain.
+struct NodeEntry {
+  const StageStats* stage = nullptr;
+  const FusedTransformStats* transform = nullptr;  // null for plain stages
+  bool owns_stage = false;
 
-  bool empty() const { return stages.empty(); }
   uint64_t rows_out() const {
-    return stages.empty() ? 0 : stages.back()->rows_out;
+    return transform != nullptr ? transform->rows_out : stage->rows_out;
+  }
+};
+
+/// Stats of one plan operator, aggregated over the stages/fused transforms
+/// it recorded (a node may record several: e.g. a skew-aware join records
+/// split + light + heavy stages).
+struct NodeStats {
+  std::vector<NodeEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+  /// True iff every entry is a mid-chain transform of a fused stage (the
+  /// node's rows streamed through without a stage boundary of its own).
+  bool fused_only() const {
+    for (const auto& e : entries) {
+      if (e.owns_stage) return false;
+    }
+    return true;
+  }
+  uint64_t rows_out() const {
+    return entries.empty() ? 0 : entries.back().rows_out();
   }
   uint64_t shuffle_bytes() const {
     uint64_t s = 0;
-    for (const auto* st : stages) s += st->shuffle_bytes;
+    for (const auto& e : entries) {
+      if (e.owns_stage) s += e.stage->shuffle_bytes;
+    }
+    return s;
+  }
+  uint64_t bytes_avoided() const {
+    uint64_t s = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) s += e.stage->intermediate_bytes_avoided;
+    }
     return s;
   }
   double sim_seconds() const {
     double s = 0;
-    for (const auto* st : stages) s += st->sim_seconds;
+    for (const auto& e : entries) {
+      if (e.owns_stage) s += e.stage->sim_seconds;
+    }
     return s;
   }
   double straggler() const {
     double worst = 1.0;
-    for (const auto* st : stages) {
-      double f = st->ImbalanceFactor();
+    for (const auto& e : entries) {
+      if (!e.owns_stage) continue;
+      double f = e.stage->ImbalanceFactor();
       if (f > worst) worst = f;
     }
     return worst;
   }
   uint64_t heavy_keys() const {
     uint64_t n = 0;
-    for (const auto* st : stages) n += st->heavy_key_count;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->heavy_key_count;
+    }
     return n;
   }
   /// Movement modes used, deduplicated, in first-use order.
   std::string movements() const {
     std::vector<std::string> seen;
-    for (const auto* st : stages) {
-      std::string m = runtime::DataMovementName(st->movement);
+    for (const auto& e : entries) {
+      if (!e.owns_stage) continue;
+      std::string m = runtime::DataMovementName(e.stage->movement);
       bool dup = false;
       for (const auto& s : seen) dup = dup || s == m;
       if (!dup) seen.push_back(std::move(m));
@@ -63,10 +102,10 @@ struct NodeStats {
   /// Work histogram of the dominant (largest total work) stage.
   const std::vector<uint64_t>* dominant_work() const {
     const StageStats* best = nullptr;
-    for (const auto* st : stages) {
-      if (st->partition_work_bytes.empty()) continue;
-      if (best == nullptr || st->total_work_bytes > best->total_work_bytes) {
-        best = st;
+    for (const auto& e : entries) {
+      if (!e.owns_stage || e.stage->partition_work_bytes.empty()) continue;
+      if (best == nullptr || e.stage->total_work_bytes > best->total_work_bytes) {
+        best = e.stage;
       }
     }
     return best == nullptr ? nullptr : &best->partition_work_bytes;
@@ -75,6 +114,13 @@ struct NodeStats {
 
 std::string StatsSuffix(const NodeStats& ns) {
   if (ns.empty()) return "  [no stages recorded]";
+  if (ns.fused_only()) {
+    // Mid-chain operator of a fused stage: it has per-transform row counts
+    // but no stage boundary (no shuffle, no materialization) of its own.
+    std::ostringstream os;
+    os << "  [rows=" << ns.rows_out() << " fused]";
+    return os.str();
+  }
   std::ostringstream os;
   os << "  [rows=" << ns.rows_out()
      << " shuffle=" << FormatBytes(ns.shuffle_bytes())
@@ -86,6 +132,9 @@ std::string StatsSuffix(const NodeStats& ns) {
        << FormatBytes(ls.p95) << "/" << FormatBytes(ls.max);
   }
   if (ns.heavy_keys() > 0) os << " heavy_keys=" << ns.heavy_keys();
+  if (ns.bytes_avoided() > 0) {
+    os << " avoided=" << FormatBytes(ns.bytes_avoided());
+  }
   os << " sim=" << FormatDouble(ns.sim_seconds(), 3) << "s]";
   return os.str();
 }
@@ -120,7 +169,18 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
   std::map<std::string, NodeStats> by_scope;
   std::set<std::string> known_scopes;
   for (const auto& s : stats.stages()) {
-    if (!s.scope.empty()) by_scope[s.scope].stages.push_back(&s);
+    if (!s.fused_transforms.empty()) {
+      // A fused stage expands to one entry per chained operator; the last
+      // transform's node owns the stage-level metrics.
+      for (size_t i = 0; i < s.fused_transforms.size(); ++i) {
+        const auto& t = s.fused_transforms[i];
+        if (t.scope.empty()) continue;
+        by_scope[t.scope].entries.push_back(
+            {&s, &t, i + 1 == s.fused_transforms.size()});
+      }
+    } else if (!s.scope.empty()) {
+      by_scope[s.scope].entries.push_back({&s, nullptr, true});
+    }
   }
 
   std::ostringstream os;
@@ -154,8 +214,12 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
   }
 
   runtime::StragglerSummary sk = stats.straggler();
-  os << "job: stages=" << stats.stages().size()
-     << " shuffle=" << FormatBytes(stats.total_shuffle_bytes())
+  os << "job: stages=" << stats.stages().size();
+  if (stats.fused_stages() > 0) {
+    os << " fused_stages=" << stats.fused_stages()
+       << " avoided=" << FormatBytes(stats.intermediate_bytes_avoided());
+  }
+  os << " shuffle=" << FormatBytes(stats.total_shuffle_bytes())
      << " max_stage_shuffle=" << FormatBytes(stats.max_stage_shuffle_bytes())
      << " peak_partition=" << FormatBytes(stats.peak_partition_bytes())
      << " max_partition_recv=" << FormatBytes(sk.max_partition_recv_bytes)

@@ -70,6 +70,27 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("heavy_key_count");
       w->Uint(s.heavy_key_count);
     }
+    if (!s.fused_transforms.empty()) {
+      w->Key("fused_transforms");
+      w->BeginArray();
+      for (const auto& t : s.fused_transforms) {
+        w->BeginObject();
+        w->Key("op");
+        w->String(t.op);
+        if (!t.scope.empty()) {
+          w->Key("scope");
+          w->String(t.scope);
+        }
+        w->Key("rows_out");
+        w->Uint(t.rows_out);
+        w->EndObject();
+      }
+      w->EndArray();
+    }
+    if (s.intermediate_bytes_avoided > 0) {
+      w->Key("intermediate_bytes_avoided");
+      w->Uint(s.intermediate_bytes_avoided);
+    }
     w->Key("imbalance");
     w->Number(s.ImbalanceFactor());
     w->Key("sim_seconds");
@@ -86,6 +107,10 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->BeginObject();
   w->Key("num_stages");
   w->Uint(stats.stages().size());
+  w->Key("fused_stages");
+  w->Uint(stats.fused_stages());
+  w->Key("intermediate_bytes_avoided");
+  w->Uint(stats.intermediate_bytes_avoided());
   w->Key("shuffle_bytes");
   w->Uint(stats.total_shuffle_bytes());
   w->Key("max_stage_shuffle_bytes");

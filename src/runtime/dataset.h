@@ -5,6 +5,7 @@
 #ifndef TRANCE_RUNTIME_DATASET_H_
 #define TRANCE_RUNTIME_DATASET_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "runtime/field.h"
@@ -27,8 +28,18 @@ struct Partitioning {
   static Partitioning Hash(std::vector<int> cols) {
     return {Kind::kHash, std::move(cols)};
   }
+  /// True when the guarantee covers hashing on `cols` in ANY order: the
+  /// partitioner (RowHashOn) combines per-column hashes commutatively, so a
+  /// dataset hashed on {a,b} places every row exactly where hashing on
+  /// {b,a} would — a permuted key list needs no re-shuffle.
   bool IsHashOn(const std::vector<int>& cols) const {
-    return kind == Kind::kHash && key_cols == cols;
+    if (kind != Kind::kHash || key_cols.size() != cols.size()) return false;
+    if (key_cols == cols) return true;
+    std::vector<int> a = key_cols;
+    std::vector<int> b = cols;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
   }
 };
 

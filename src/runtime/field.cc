@@ -181,13 +181,17 @@ uint64_t RowHash(const Row& r) {
 }
 
 uint64_t RowHashOn(const Row& r, const std::vector<int>& cols) {
+  // Commutative combine (sum of independently finalized per-column hashes):
+  // hashing on a permutation of the same columns places every row on the
+  // same partition, which is what lets Partitioning::IsHashOn accept
+  // permuted key lists without a re-shuffle.
   uint64_t h = 0x5EED;
   for (int c : cols) {
     TRANCE_CHECK(c >= 0 && static_cast<size_t>(c) < r.fields.size(),
                  "RowHashOn: bad column");
-    h = HashCombine(h, r.fields[static_cast<size_t>(c)].Hash());
+    h += SplitMix64(r.fields[static_cast<size_t>(c)].Hash());
   }
-  return h;
+  return SplitMix64(h);
 }
 
 bool RowEquals(const Row& a, const Row& b) {

@@ -32,19 +32,6 @@ class WorkMeter {
   std::vector<uint64_t> work_;
 };
 
-/// Per-partition row counter, folded into stage.rows_in at the barrier.
-class RowCounter {
- public:
-  explicit RowCounter(size_t parts) : rows_(parts, 0) {}
-  void Add(size_t p, uint64_t n) { rows_[p] += n; }
-  void Finalize(StageStats* s) const {
-    for (uint64_t n : rows_) s->rows_in += n;
-  }
-
- private:
-  std::vector<uint64_t> rows_;
-};
-
 /// Accumulates `add` into `into[i]`, growing the histogram on first use (a
 /// stage may run several shuffles, e.g. both sides of a join).
 void AccumulateHistogram(std::vector<uint64_t>* into,
@@ -223,24 +210,8 @@ uint64_t LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
   return out_bytes;
 }
 
-/// Stage barrier: finalizes row counts, stamps the memory high-water mark,
-/// records the stage and enforces the per-partition cap. `part_bytes`, when
-/// provided, is the precomputed footprint of `result`'s partitions (from the
-/// operator's own single sizing pass); when empty the result is walked here
-/// (in parallel).
-Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
-                   const std::string& name,
-                   std::vector<uint64_t> part_bytes = {}) {
-  stage.rows_out = result->NumRows();
-  if (part_bytes.empty()) {
-    part_bytes = result->PartitionBytes(cluster->num_threads());
-  }
-  for (uint64_t b : part_bytes) {
-    if (b > stage.mem_high_water_bytes) stage.mem_high_water_bytes = b;
-  }
-  cluster->RecordStage(std::move(stage));
-  return cluster->CheckMemoryBytes(part_bytes, name);
-}
+// Stage barrier shared with the fused-stage runner.
+using detail::FinishStage;
 
 }  // namespace
 
@@ -289,96 +260,25 @@ StatusOr<Dataset> MapRows(Cluster* cluster, const Dataset& in,
                           Schema out_schema, const MapFn& fn,
                           const std::string& name, bool preserves_partitioning,
                           Partitioning out_partitioning) {
-  Dataset out;
-  out.schema = std::move(out_schema);
-  out.partitions.resize(in.partitions.size());
-  out.partitioning = preserves_partitioning ? in.partitioning
-                                            : out_partitioning;
-  StageStats stage;
-  stage.op = name;
-  const size_t nparts = in.partitions.size();
-  WorkMeter work(nparts);
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    out.partitions[p].reserve(in.partitions[p].size());
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      Row mapped = fn(row);
-      uint64_t mapped_bytes = RowDeepSize(mapped);
-      work.Add(p, RowDeepSize(row) + mapped_bytes);
-      out_bytes[p] += mapped_bytes;
-      out.partitions[p].push_back(std::move(mapped));
-    }
-  });
-  rows_in.Finalize(&stage);
-  work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  return RunStagePipeline(
+      cluster, in, std::move(out_schema), {RowTransform::Map(name, fn)},
+      preserves_partitioning ? in.partitioning : std::move(out_partitioning),
+      name);
 }
 
 StatusOr<Dataset> FilterRows(Cluster* cluster, const Dataset& in,
                              const PredFn& pred, const std::string& name) {
-  Dataset out;
-  out.schema = in.schema;
-  out.partitions.resize(in.partitions.size());
-  out.partitioning = in.partitioning;
-  StageStats stage;
-  stage.op = name;
-  const size_t nparts = in.partitions.size();
-  WorkMeter work(nparts);
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      uint64_t sz = RowDeepSize(row);
-      work.Add(p, sz);
-      if (pred(row)) {
-        out_bytes[p] += sz;
-        out.partitions[p].push_back(row);
-      }
-    }
-  });
-  rows_in.Finalize(&stage);
-  work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  return RunStagePipeline(cluster, in, in.schema,
+                          {RowTransform::Filter(name, pred)}, in.partitioning,
+                          name);
 }
 
 StatusOr<Dataset> FlatMapRows(Cluster* cluster, const Dataset& in,
                               Schema out_schema, const FlatMapFn& fn,
                               const std::string& name) {
-  Dataset out;
-  out.schema = std::move(out_schema);
-  out.partitions.resize(in.partitions.size());
-  out.partitioning = Partitioning::None();
-  StageStats stage;
-  stage.op = name;
-  const size_t nparts = in.partitions.size();
-  WorkMeter work(nparts);
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      size_t before = out.partitions[p].size();
-      fn(row, &out.partitions[p]);
-      uint64_t produced = 0;
-      for (size_t i = before; i < out.partitions[p].size(); ++i) {
-        produced += RowDeepSize(out.partitions[p][i]);
-      }
-      out_bytes[p] += produced;
-      work.Add(p, RowDeepSize(row) + produced);
-    }
-  });
-  rows_in.Finalize(&stage);
-  work.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  return RunStagePipeline(cluster, in, std::move(out_schema),
+                          {RowTransform::FlatMap(name, fn)},
+                          Partitioning::None(), name);
 }
 
 StatusOr<Dataset> Repartition(Cluster* cluster, const Dataset& in,
@@ -572,32 +472,11 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
 StatusOr<Dataset> AddIndexColumn(Cluster* cluster, const Dataset& in,
                                  const std::string& id_col_name,
                                  const std::string& name) {
-  Dataset out;
-  out.schema = in.schema;
-  out.schema.Append({id_col_name, nrc::Type::Int()});
-  const size_t nparts = in.partitions.size();
-  out.partitions.resize(nparts);
-  out.partitioning = in.partitioning;
-  StageStats stage;
-  stage.op = name;
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    int64_t idx = 0;
-    out.partitions[p].reserve(in.partitions[p].size());
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      Row r = row;
-      r.fields.push_back(
-          Field::Int((static_cast<int64_t>(p) << 40) | idx++));
-      out_bytes[p] += RowDeepSize(r);
-      out.partitions[p].push_back(std::move(r));
-    }
-  });
-  rows_in.Finalize(&stage);
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  Schema out_schema = in.schema;
+  out_schema.Append({id_col_name, nrc::Type::Int()});
+  return RunStagePipeline(cluster, in, std::move(out_schema),
+                          {RowTransform::AddIndex(name)}, in.partitioning,
+                          name);
 }
 
 StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
@@ -749,9 +628,8 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   return out;
 }
 
-namespace {
-StatusOr<Schema> UnnestSchema(const Schema& in, int bag_col,
-                              const std::string& id_col_name) {
+StatusOr<Schema> UnnestedSchema(const Schema& in, int bag_col,
+                                const std::string& id_col_name) {
   const auto& bag_type = in.col(static_cast<size_t>(bag_col)).type;
   if (!bag_type->is_bag()) {
     return Status::TypeError("unnest on non-bag column " +
@@ -773,106 +651,28 @@ StatusOr<Schema> UnnestSchema(const Schema& in, int bag_col,
   }
   return out;
 }
-}  // namespace
 
 StatusOr<Dataset> Unnest(Cluster* cluster, const Dataset& in, int bag_col,
                          const std::string& name) {
-  TRANCE_ASSIGN_OR_RETURN(Schema out_schema, UnnestSchema(in.schema, bag_col, ""));
-  Dataset out;
-  out.schema = std::move(out_schema);
-  const size_t nparts = in.partitions.size();
-  out.partitions.resize(nparts);
-  StageStats stage;
-  stage.op = name;
-  WorkMeter work(nparts);
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      work.Add(p, RowDeepSize(row));
-      const Field& bag = row.fields[static_cast<size_t>(bag_col)];
-      if (!bag.is_bag() || bag.AsBag() == nullptr) continue;
-      for (const auto& inner : *bag.AsBag()) {
-        Row r;
-        r.fields.reserve(row.fields.size() - 1 + inner.fields.size());
-        for (size_t i = 0; i < row.fields.size(); ++i) {
-          if (static_cast<int>(i) == bag_col) continue;
-          r.fields.push_back(row.fields[i]);
-        }
-        for (const auto& f : inner.fields) r.fields.push_back(f);
-        uint64_t sz = RowDeepSize(r);
-        work.Add(p, sz);
-        out_bytes[p] += sz;
-        out.partitions[p].push_back(std::move(r));
-      }
-    }
-  });
-  rows_in.Finalize(&stage);
-  work.Finalize(&stage);
-  out.partitioning = Partitioning::None();
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  TRANCE_ASSIGN_OR_RETURN(Schema out_schema,
+                          UnnestedSchema(in.schema, bag_col, ""));
+  return RunStagePipeline(cluster, in, std::move(out_schema),
+                          {RowTransform::Unnest(name, bag_col)},
+                          Partitioning::None(), name);
 }
 
 StatusOr<Dataset> OuterUnnest(Cluster* cluster, const Dataset& in, int bag_col,
                               const std::string& id_col_name,
                               const std::string& name) {
   TRANCE_ASSIGN_OR_RETURN(Schema out_schema,
-                          UnnestSchema(in.schema, bag_col, id_col_name));
+                          UnnestedSchema(in.schema, bag_col, id_col_name));
   const bool with_id = !id_col_name.empty();
   size_t inner_width = out_schema.size() - (with_id ? 1 : 0) -
                        (in.schema.size() - 1);
-  Dataset out;
-  out.schema = std::move(out_schema);
-  const size_t nparts = in.partitions.size();
-  out.partitions.resize(nparts);
-  StageStats stage;
-  stage.op = name;
-  WorkMeter work(nparts);
-  RowCounter rows_in(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    int64_t idx = 0;
-    rows_in.Add(p, in.partitions[p].size());
-    for (const auto& row : in.partitions[p]) {
-      work.Add(p, RowDeepSize(row));
-      int64_t uid = (static_cast<int64_t>(p) << 40) | idx++;
-      const Field& bag = row.fields[static_cast<size_t>(bag_col)];
-      auto emit = [&](const Row* inner) {
-        Row r;
-        r.fields.reserve(out.schema.size());
-        if (with_id) r.fields.push_back(Field::Int(uid));
-        for (size_t i = 0; i < row.fields.size(); ++i) {
-          if (static_cast<int>(i) == bag_col) continue;
-          r.fields.push_back(row.fields[i]);
-        }
-        if (inner != nullptr) {
-          for (const auto& f : inner->fields) r.fields.push_back(f);
-        } else {
-          for (size_t i = 0; i < inner_width; ++i) {
-            r.fields.push_back(Field::Null());
-          }
-        }
-        uint64_t sz = RowDeepSize(r);
-        work.Add(p, sz);
-        out_bytes[p] += sz;
-        out.partitions[p].push_back(std::move(r));
-      };
-      if (!bag.is_bag() || bag.AsBag() == nullptr || bag.AsBag()->empty()) {
-        emit(nullptr);
-      } else {
-        for (const auto& inner : *bag.AsBag()) emit(&inner);
-      }
-    }
-  });
-  rows_in.Finalize(&stage);
-  work.Finalize(&stage);
-  out.partitioning = Partitioning::None();
-  TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
-                                   std::move(out_bytes)));
-  return out;
+  return RunStagePipeline(
+      cluster, in, std::move(out_schema),
+      {RowTransform::OuterUnnest(name, bag_col, with_id, inner_width)},
+      Partitioning::None(), name);
 }
 
 StatusOr<Dataset> UnionAll(Cluster* cluster, const Dataset& a,

@@ -15,14 +15,15 @@
 
 #include "runtime/cluster.h"
 #include "runtime/dataset.h"
+#include "runtime/stage_pipeline.h"
 #include "util/status.h"
 
 namespace trance {
 namespace runtime {
 
-using MapFn = std::function<Row(const Row&)>;
-using FlatMapFn = std::function<void(const Row&, std::vector<Row>*)>;
-using PredFn = std::function<bool(const Row&)>;
+// MapFn / FlatMapFn / PredFn live in runtime/stage_pipeline.h: the narrow
+// operators below are single-transform chains of the fused-stage runner, so
+// the fused and standalone paths share one implementation.
 
 enum class JoinType { kInner, kLeftOuter };
 
@@ -110,6 +111,13 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                                std::vector<int> key_cols,
                                std::vector<int> value_cols,
                                bool map_side_combine, const std::string& name);
+
+/// Output schema of Unnest/OuterUnnest: the id column (when `id_col_name` is
+/// non-empty) then the outer columns minus the bag column, then the bag's
+/// element columns (collisions suffixed "__u"). Exposed so the fused-stage
+/// builder in exec/lowering can derive chain schemas without materializing.
+StatusOr<Schema> UnnestedSchema(const Schema& in, int bag_col,
+                                const std::string& id_col_name);
 
 /// Unnest (mu): pairs each row with each element of its bag column, dropping
 /// the bag column. Rows with empty bags disappear. Purely partition-local.

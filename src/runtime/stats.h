@@ -32,6 +32,15 @@ enum class DataMovement {
 
 const char* DataMovementName(DataMovement m);
 
+/// One narrow operator inside a fused stage (runtime/stage_pipeline). The
+/// per-transform emitted-row count is what EXPLAIN ANALYZE shows for the plan
+/// node the transform came from.
+struct FusedTransformStats {
+  std::string op;
+  std::string scope;
+  uint64_t rows_out = 0;
+};
+
 struct StageStats {
   std::string op;
   /// Plan-operator attribution (set from the cluster's scope stack); empty
@@ -54,6 +63,13 @@ struct StageStats {
   std::vector<uint64_t> partition_send_bytes;
   std::vector<uint64_t> partition_recv_bytes;
   std::vector<uint64_t> partition_work_bytes;
+  /// Non-empty when this stage ran a fused chain of narrow transforms (one
+  /// entry per transform, in chain order).
+  std::vector<FusedTransformStats> fused_transforms;
+  /// Bytes the unfused pipeline would have materialized between the chain's
+  /// transforms (rows emitted by every non-final transform); 0 for unfused
+  /// stages.
+  uint64_t intermediate_bytes_avoided = 0;
   double sim_seconds = 0;
   /// Wall-clock interval of the stage on the process trace timeline
   /// (microseconds since trance::WallMicros epoch); stamped by
@@ -88,6 +104,8 @@ class JobStats {
       max_stage_shuffle_ = s.shuffle_bytes;
     }
     sim_seconds_ += s.sim_seconds;
+    if (!s.fused_transforms.empty()) ++fused_stages_;
+    intermediate_bytes_avoided_ += s.intermediate_bytes_avoided;
     stages_.push_back(std::move(s));
   }
 
@@ -101,6 +119,12 @@ class JobStats {
   uint64_t max_stage_shuffle_bytes() const { return max_stage_shuffle_; }
   uint64_t peak_partition_bytes() const { return peak_partition_bytes_; }
   double sim_seconds() const { return sim_seconds_; }
+  /// Stages that ran a fused chain of narrow transforms.
+  uint64_t fused_stages() const { return fused_stages_; }
+  /// Total bytes fusion kept from materializing between narrow operators.
+  uint64_t intermediate_bytes_avoided() const {
+    return intermediate_bytes_avoided_;
+  }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -111,6 +135,8 @@ class JobStats {
     max_stage_shuffle_ = 0;
     peak_partition_bytes_ = 0;
     sim_seconds_ = 0;
+    fused_stages_ = 0;
+    intermediate_bytes_avoided_ = 0;
   }
 
   std::string ToString() const;
@@ -121,6 +147,8 @@ class JobStats {
   uint64_t max_stage_shuffle_ = 0;
   uint64_t peak_partition_bytes_ = 0;
   double sim_seconds_ = 0;
+  uint64_t fused_stages_ = 0;
+  uint64_t intermediate_bytes_avoided_ = 0;
 };
 
 }  // namespace runtime

@@ -103,6 +103,77 @@ TEST(OpsTest, RepartitionOnExistingGuaranteeShufflesNothing) {
   EXPECT_EQ(cluster.stats().total_shuffle_bytes(), before);
 }
 
+TEST(OpsTest, RepartitionOnPermutedKeysShufflesNothing) {
+  // The partitioner combines per-column hashes commutatively, so a hash
+  // guarantee on {a,b} covers a request for {b,a}: same placement, no
+  // movement.
+  Cluster cluster(ClusterConfig{.num_partitions = 4});
+  Schema schema({{"a", nrc::Type::Int()},
+                 {"b", nrc::Type::Int()},
+                 {"v", nrc::Type::Int()}});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 40; ++i) {
+    rows.push_back(Row({Field::Int(i % 7), Field::Int(i % 5), Field::Int(i)}));
+  }
+  auto ds = Source(&cluster, schema, std::move(rows), "in").ValueOrDie();
+  auto p1 = Repartition(&cluster, ds, {0, 1}, "r1").ValueOrDie();
+  EXPECT_TRUE(p1.partitioning.IsHashOn({1, 0}));
+  uint64_t before = cluster.stats().total_shuffle_bytes();
+  auto p2 = Repartition(&cluster, p1, {1, 0}, "r2").ValueOrDie();
+  EXPECT_EQ(cluster.stats().total_shuffle_bytes(), before);
+  // Placement under the permuted guarantee must match hashing on the
+  // permuted key list exactly (reuse must not mis-place any row).
+  for (size_t p = 0; p < p2.partitions.size(); ++p) {
+    for (const auto& r : p2.partitions[p]) {
+      EXPECT_EQ(static_cast<size_t>(cluster.PartitionOf(RowHashOn(r, {1, 0}))),
+                p);
+    }
+  }
+}
+
+TEST(OpsTest, HashJoinReusesPermutedPartitioning) {
+  // A left side already hashed on {1,0} joins on keys {0,1} without moving:
+  // the permuted guarantee is accepted and the join still colocates equal
+  // keys from the right side.
+  Cluster cluster(ClusterConfig{.num_partitions = 4});
+  Schema ls({{"a", nrc::Type::Int()},
+             {"b", nrc::Type::Int()},
+             {"v", nrc::Type::Int()}});
+  std::vector<Row> lrows;
+  for (int64_t i = 0; i < 30; ++i) {
+    lrows.push_back(
+        Row({Field::Int(i % 6), Field::Int(i % 4), Field::Int(i)}));
+  }
+  auto l = Source(&cluster, ls, std::move(lrows), "l").ValueOrDie();
+  auto lp = Repartition(&cluster, l, {1, 0}, "lp").ValueOrDie();
+  Schema rs({{"x", nrc::Type::Int()},
+             {"y", nrc::Type::Int()},
+             {"w", nrc::Type::Int()}});
+  std::vector<Row> rrows;
+  for (int64_t i = 0; i < 24; ++i) {
+    rrows.push_back(
+        Row({Field::Int(i % 6), Field::Int(i % 4), Field::Int(100 + i)}));
+  }
+  auto r = Source(&cluster, rs, std::move(rrows), "r").ValueOrDie();
+  uint64_t before = cluster.stats().total_shuffle_bytes();
+  auto j =
+      HashJoin(&cluster, lp, r, {0, 1}, {0, 1}, JoinType::kInner, "join");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  // Only the right side moved; the permuted left guarantee was reused.
+  uint64_t right_size = r.DeepSizeBytes();
+  EXPECT_LE(cluster.stats().total_shuffle_bytes() - before, right_size);
+  // Exact expected multiplicity: keys match when (a,b) == (x,y).
+  size_t expected = 0;
+  for (const auto& lr : l.Collect()) {
+    for (const auto& rr : r.Collect()) {
+      if (lr.fields[0] == rr.fields[0] && lr.fields[1] == rr.fields[1]) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(j->NumRows(), expected);
+}
+
 TEST(OpsTest, HashJoinInner) {
   Cluster cluster(ClusterConfig{.num_partitions = 4});
   auto l = Source(&cluster, KvSchema(), KvRows({{1, 10}, {2, 20}, {3, 30}}),
