@@ -111,6 +111,9 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.peak_partition = stats.peak_partition_bytes();
   r.fused_stages = stats.fused_stages();
   r.intermediate_bytes_avoided = stats.intermediate_bytes_avoided();
+  r.injected_faults = stats.injected_faults();
+  r.retries = stats.retries();
+  r.recovery_sim_s = stats.recovery_sim_seconds();
   r.stats = stats;
   r.ok = st.ok();
   if (!st.ok()) r.fail_reason = st.ToString();
@@ -210,6 +213,12 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.fused_stages);
     w.Key("intermediate_bytes_avoided");
     w.Uint(r.intermediate_bytes_avoided);
+    w.Key("injected_faults");
+    w.Uint(r.injected_faults);
+    w.Key("retries");
+    w.Uint(r.retries);
+    w.Key("recovery_sim_seconds");
+    w.Number(r.recovery_sim_s);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

@@ -40,6 +40,13 @@ struct RunResult {
   /// bytes of intermediate Datasets the fusion never materialized.
   uint64_t fused_stages = 0;
   uint64_t intermediate_bytes_avoided = 0;
+  /// Fault-injection telemetry (all zero unless the run's cluster enabled
+  /// ClusterConfig::faults): faults injected, task re-executions performed,
+  /// and the simulated recovery time (backoff + discarded work — reported
+  /// separately from sim_s, which stays fault-invariant). See docs/METRICS.md.
+  uint64_t injected_faults = 0;
+  uint64_t retries = 0;
+  double recovery_sim_s = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

@@ -87,6 +87,27 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t injected_faults() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->injected_faults;
+    }
+    return n;
+  }
+  uint64_t retries() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->retries;
+    }
+    return n;
+  }
+  double recovery_sim_seconds() const {
+    double s = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) s += e.stage->recovery_sim_seconds;
+    }
+    return s;
+  }
   /// Movement modes used, deduplicated, in first-use order.
   std::string movements() const {
     std::vector<std::string> seen;
@@ -134,6 +155,10 @@ std::string StatsSuffix(const NodeStats& ns) {
   if (ns.heavy_keys() > 0) os << " heavy_keys=" << ns.heavy_keys();
   if (ns.bytes_avoided() > 0) {
     os << " avoided=" << FormatBytes(ns.bytes_avoided());
+  }
+  if (ns.injected_faults() > 0) {
+    os << " faults=" << ns.injected_faults() << " retries=" << ns.retries()
+       << " recovery=" << FormatDouble(ns.recovery_sim_seconds(), 3) << "s";
   }
   os << " sim=" << FormatDouble(ns.sim_seconds(), 3) << "s]";
   return os.str();
@@ -208,8 +233,12 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
       os << "  " << s->op << "  [rows=" << s->rows_out
          << " shuffle=" << FormatBytes(s->shuffle_bytes)
          << " mode=" << runtime::DataMovementName(s->movement)
-         << " straggler=" << FormatDouble(s->ImbalanceFactor(), 2) << "x"
-         << " sim=" << FormatDouble(s->sim_seconds, 3) << "s]\n";
+         << " straggler=" << FormatDouble(s->ImbalanceFactor(), 2) << "x";
+      if (s->injected_faults > 0) {
+        os << " faults=" << s->injected_faults << " retries=" << s->retries
+           << " recovery=" << FormatDouble(s->recovery_sim_seconds, 3) << "s";
+      }
+      os << " sim=" << FormatDouble(s->sim_seconds, 3) << "s]\n";
     }
   }
 
@@ -226,8 +255,13 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
      << " max_partition_work=" << FormatBytes(sk.max_partition_work_bytes)
      << " straggler=" << FormatDouble(sk.worst_imbalance, 2) << "x"
      << (sk.worst_stage.empty() ? "" : "@" + sk.worst_stage)
-     << " heavy_keys=" << sk.heavy_key_count
-     << " sim=" << FormatDouble(stats.sim_seconds(), 3) << "s\n";
+     << " heavy_keys=" << sk.heavy_key_count;
+  if (stats.injected_faults() > 0) {
+    os << " injected_faults=" << stats.injected_faults()
+       << " retries=" << stats.retries()
+       << " recovery=" << FormatDouble(stats.recovery_sim_seconds(), 3) << "s";
+  }
+  os << " sim=" << FormatDouble(stats.sim_seconds(), 3) << "s\n";
   return os.str();
 }
 

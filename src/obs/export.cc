@@ -91,6 +91,27 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("intermediate_bytes_avoided");
       w->Uint(s.intermediate_bytes_avoided);
     }
+    if (s.injected_faults > 0) {
+      w->Key("injected_faults");
+      w->Uint(s.injected_faults);
+      w->Key("retries");
+      w->Uint(s.retries);
+      w->Key("recovery_sim_seconds");
+      w->Number(s.recovery_sim_seconds);
+      w->Key("fault_events");
+      w->BeginArray();
+      for (const auto& ev : s.fault_events) {
+        w->BeginObject();
+        w->Key("partition");
+        w->Uint(ev.partition);
+        w->Key("attempt");
+        w->Uint(ev.attempt);
+        w->Key("kind");
+        w->String(runtime::FaultKindName(ev.kind));
+        w->EndObject();
+      }
+      w->EndArray();
+    }
     w->Key("imbalance");
     w->Number(s.ImbalanceFactor());
     w->Key("sim_seconds");
@@ -127,6 +148,12 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->String(sk.worst_stage);
   w->Key("heavy_key_count");
   w->Uint(sk.heavy_key_count);
+  w->Key("injected_faults");
+  w->Uint(stats.injected_faults());
+  w->Key("retries");
+  w->Uint(stats.retries());
+  w->Key("recovery_sim_seconds");
+  w->Number(stats.recovery_sim_seconds());
   w->Key("sim_seconds");
   w->Number(stats.sim_seconds());
   w->EndObject();

@@ -13,6 +13,24 @@ void Cluster::RecordStage(StageStats s) {
           config_.seconds_per_cpu_byte +
       static_cast<double>(s.max_partition_recv_bytes) *
           config_.seconds_per_net_byte;
+  // Recovery charge: for every injected fault, the bounded exponential
+  // backoff plus the cost-model price of what the fault destroyed — the
+  // discarded attempt's work (crash kinds) or the lost fetch (fetch loss).
+  // Charged into recovery_sim_seconds, never sim_seconds, so the base stats
+  // of a recovered run are bit-identical to a fault-free run.
+  for (const FaultEvent& ev : s.fault_events) {
+    double charge = injector_.BackoffSeconds(static_cast<int>(ev.attempt));
+    uint64_t work = ev.partition < s.partition_work_bytes.size()
+                        ? s.partition_work_bytes[ev.partition]
+                        : 0;
+    uint64_t recv = ev.partition < s.partition_recv_bytes.size()
+                        ? s.partition_recv_bytes[ev.partition]
+                        : 0;
+    charge += ev.kind == FaultKind::kFetchLoss
+                  ? static_cast<double>(recv) * config_.seconds_per_net_byte
+                  : static_cast<double>(work) * config_.seconds_per_cpu_byte;
+    s.recovery_sim_seconds += charge;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (s.scope.empty() && !scope_stack_.empty()) s.scope = scope_stack_.back();
   double now_us = WallMicros();
@@ -30,14 +48,83 @@ Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
 Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
                                  const std::string& op) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (uint64_t b : partition_bytes) {
+  for (size_t p = 0; p < partition_bytes.size(); ++p) {
+    uint64_t b = partition_bytes[p];
     stats_.NotePeakPartitionBytes(b);
     if (b > config_.partition_memory_cap) {
+      // Name the stage, the plan-node scope and the partition so EXPLAIN
+      // ANALYZE readers and test failures can attribute the saturation.
+      std::string where = "stage '" + op + "'";
+      if (!scope_stack_.empty()) where += " (scope " + scope_stack_.back() + ")";
       return Status::ResourceExhausted(
-          "worker memory saturated in " + op + ": partition holds " +
-          FormatBytes(b) + " > cap " + FormatBytes(config_.partition_memory_cap));
+          "worker memory saturated in " + where + ": partition " +
+          std::to_string(p) + " holds " + FormatBytes(b) + " > cap " +
+          FormatBytes(config_.partition_memory_cap));
     }
   }
+  return Status::OK();
+}
+
+Status Cluster::RunRecoverableTasks(const std::string& stage_name, size_t n,
+                                    StageStats* stage,
+                                    const std::function<void(size_t)>& task,
+                                    const std::function<void(size_t)>& reset) {
+  if (!injector_.enabled()) {
+    RunParallel(n, task);
+    return Status::OK();
+  }
+  const uint64_t stage_seq = next_stage_seq_.fetch_add(1);
+  const int budget = config_.faults.max_task_retries;
+  // Per-slot fault logs, merged in slot order after the barrier so the
+  // telemetry (like every other stat) is thread-count-invariant.
+  std::vector<std::vector<FaultKind>> faults(n);
+  std::vector<FaultKind> exhausted(n, FaultKind::kNone);
+  RunParallel(n, [&](size_t p) {
+    for (int attempt = 0;; ++attempt) {
+      FaultKind k = injector_.Decide(stage_seq, p, attempt);
+      if (k == FaultKind::kNone) {
+        task(p);
+        return;
+      }
+      if (reset != nullptr && k != FaultKind::kFetchLoss) {
+        // Crash-type fault: the attempt runs and its partial output is
+        // discarded — re-execution then recomputes slot p from the stage's
+        // still-held input partitions (lineage recovery).
+        task(p);
+        reset(p);
+      }
+      faults[p].push_back(k);
+      if (attempt >= budget) {
+        exhausted[p] = k;
+        return;
+      }
+    }
+  });
+  uint64_t total = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (faults[p].empty()) continue;
+    total += faults[p].size();
+    if (stage->partition_retries.size() < n) {
+      stage->partition_retries.resize(n, 0);
+    }
+    stage->partition_retries[p] += faults[p].size();
+    for (size_t a = 0; a < faults[p].size(); ++a) {
+      stage->fault_events.push_back({static_cast<uint32_t>(p),
+                                     static_cast<uint32_t>(a), faults[p][a]});
+    }
+  }
+  stage->injected_faults += total;
+  for (size_t p = 0; p < n; ++p) {
+    if (exhausted[p] == FaultKind::kNone) continue;
+    std::string scope = current_scope();
+    return Status::ResourceExhausted(
+        "retry budget exhausted in stage '" + stage_name + "'" +
+        (scope.empty() ? "" : " (scope " + scope + ")") + ": partition " +
+        std::to_string(p) + " task failed " + std::to_string(budget + 1) +
+        " attempts (last fault: " + FaultKindName(exhausted[p]) +
+        ", retry budget " + std::to_string(budget) + ")");
+  }
+  stage->retries += total;  // every injected fault was followed by a retry
   return Status::OK();
 }
 

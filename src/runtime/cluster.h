@@ -4,11 +4,13 @@
 #ifndef TRANCE_RUNTIME_CLUSTER_H_
 #define TRANCE_RUNTIME_CLUSTER_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "runtime/dataset.h"
+#include "runtime/fault.h"
 #include "runtime/stats.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -44,6 +46,11 @@ struct ClusterConfig {
   /// are bit-identical across thread counts (see DESIGN.md, Threading
   /// model).
   int num_threads = 0;
+  /// Fault injection & recovery (off by default; see runtime/fault.h and
+  /// docs/ARCHITECTURE.md). With faults enabled and a sufficient retry
+  /// budget, results and all non-recovery stats are bit-identical to a
+  /// fault-free run.
+  FaultConfig faults{};
 };
 
 /// Cluster state: configuration + per-job statistics. One Cluster per
@@ -56,7 +63,8 @@ class Cluster {
   explicit Cluster(ClusterConfig config)
       : config_(config),
         num_threads_(config.num_threads > 0 ? config.num_threads
-                                            : util::DefaultNumThreads()) {
+                                            : util::DefaultNumThreads()),
+        injector_(config.faults) {
     TRANCE_CHECK(config_.num_partitions > 0, "cluster without partitions");
   }
   Cluster() : Cluster(ClusterConfig{}) {}
@@ -77,6 +85,41 @@ class Cluster {
   void RunParallel(size_t n, const std::function<void(size_t)>& fn) const {
     util::ParallelFor(num_threads_, n, fn);
   }
+
+  const FaultInjector& fault_injector() const { return injector_; }
+
+  /// Runs the per-partition tasks of one stage with fault injection and
+  /// recovery. With the injector disabled this is exactly RunParallel(n,
+  /// task). Otherwise, for every task slot p the injector decides (seeded,
+  /// deterministically — independent of thread count and wall clock)
+  /// whether each attempt faults:
+  ///   - crash-type faults (worker crash, transient ResourceExhausted) run
+  ///     task(p) and then discard its partial output via reset(p) — a real
+  ///     re-execution from the stage's (immutable, driver-held) input
+  ///     partitions, i.e. lineage recovery;
+  ///   - fetch-loss faults strike before any work: the task is skipped and
+  ///     retried.
+  /// When `reset` is null the task cannot be unwound mid-flight (e.g. the
+  /// shuffle's fetch phase moves rows destructively), so every fault is
+  /// handled pre-task like a fetch loss; results are identical either way
+  /// because tasks are deterministic.
+  ///
+  /// Each fault is appended to stage->fault_events and counted in
+  /// stage->injected_faults / retries / partition_retries (merged in slot
+  /// order after the barrier, so fault telemetry is thread-count-invariant
+  /// too). RecordStage later converts the events into the stage's
+  /// recovery_sim_seconds charge (bounded exponential backoff + discarded
+  /// work), keeping sim_seconds itself fault-invariant.
+  ///
+  /// A task that faults more than config().faults.max_task_retries times
+  /// escalates: the job fails with ResourceExhausted naming `stage_name`
+  /// and the partition. The injector itself stops failing a task after
+  /// max_faults_per_task faults, so a budget >= max_faults_per_task makes
+  /// recovery guaranteed.
+  Status RunRecoverableTasks(const std::string& stage_name, size_t n,
+                             StageStats* stage,
+                             const std::function<void(size_t)>& task,
+                             const std::function<void(size_t)>& reset);
 
   /// Records a finished stage, deriving its simulated time from the cost
   /// model, stamping its wall-time interval, and attributing it to the
@@ -118,6 +161,11 @@ class Cluster {
  private:
   ClusterConfig config_;
   int num_threads_;
+  FaultInjector injector_;
+  /// Driver-side stage sequence number feeding the fault injector. Stages
+  /// start sequentially from the driver, so the sequence is deterministic
+  /// for a given query + config regardless of thread count.
+  std::atomic<uint64_t> next_stage_seq_{0};
   /// Guards stats_, scope_stack_ and last_stage_end_us_ (RecordStage and
   /// CheckMemoryBytes may be reached from concurrent helper code).
   mutable std::mutex mu_;

@@ -20,6 +20,9 @@ class WorkMeter {
  public:
   explicit WorkMeter(size_t parts) : work_(parts, 0) {}
   void Add(size_t p, uint64_t bytes) { work_[p] += bytes; }
+  /// Clears slot p (recovery reset of a discarded task attempt). Only valid
+  /// while a single task loop owns the slot.
+  void Reset(size_t p) { work_[p] = 0; }
   void Finalize(StageStats* s) const {
     for (uint64_t w : work_) {
       s->total_work_bytes += w;
@@ -60,9 +63,15 @@ struct ShuffledParts {
 /// Phase 2's fixed order reproduces the sequential row order exactly, and
 /// the movement histograms are merged in partition order at the phase-1
 /// barrier, so output and stats are identical for any thread count.
-ShuffledParts ShuffleByKey(Cluster* cluster, const Dataset& in,
-                           const std::vector<int>& key_cols,
-                           StageStats* stage) {
+///
+/// Fault model: phase-1 (map side) tasks read only the immutable input, so a
+/// crash fault re-runs them after discarding the partition's buckets; phase-2
+/// (fetch side) consumes the buckets destructively via move, so its faults
+/// are fetch-style — they strike before the task touches the buckets (null
+/// reset) and the retry re-fetches.
+StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
+                                     const std::vector<int>& key_cols,
+                                     StageStats* stage) {
   const size_t n = static_cast<size_t>(cluster->num_partitions());
   const size_t in_n = in.partitions.size();
 
@@ -73,23 +82,26 @@ ShuffledParts ShuffleByKey(Cluster* cluster, const Dataset& in,
     uint64_t sent = 0;                   // total bytes leaving this partition
   };
   std::vector<SourceBuckets> buckets(in_n);
-  cluster->RunParallel(in_n, [&](size_t p) {
-    SourceBuckets& b = buckets[p];
-    b.rows.resize(n);
-    b.bytes.assign(n, 0);
-    b.moved.assign(n, 0);
-    for (const auto& row : in.partitions[p]) {
-      size_t target = static_cast<size_t>(
-          cluster->PartitionOf(RowHashOn(row, key_cols)));
-      uint64_t sz = RowDeepSize(row);
-      b.bytes[target] += sz;
-      if (target != p) {
-        b.moved[target] += sz;
-        b.sent += sz;
-      }
-      b.rows[target].push_back(row);
-    }
-  });
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      stage->op + ".shuffle_map", in_n, stage,
+      [&](size_t p) {
+        SourceBuckets& b = buckets[p];
+        b.rows.resize(n);
+        b.bytes.assign(n, 0);
+        b.moved.assign(n, 0);
+        for (const auto& row : in.partitions[p]) {
+          size_t target = static_cast<size_t>(
+              cluster->PartitionOf(RowHashOn(row, key_cols)));
+          uint64_t sz = RowDeepSize(row);
+          b.bytes[target] += sz;
+          if (target != p) {
+            b.moved[target] += sz;
+            b.sent += sz;
+          }
+          b.rows[target].push_back(row);
+        }
+      },
+      [&](size_t p) { buckets[p] = SourceBuckets{}; }));
 
   std::vector<uint64_t> recv(n, 0);
   std::vector<uint64_t> send(std::max(in_n, n), 0);
@@ -102,18 +114,21 @@ ShuffledParts ShuffleByKey(Cluster* cluster, const Dataset& in,
   ShuffledParts out;
   out.parts.resize(n);
   out.bytes.assign(n, 0);
-  cluster->RunParallel(n, [&](size_t t) {
-    size_t total = 0;
-    for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
-    out.parts[t].reserve(total);
-    for (size_t p = 0; p < in_n; ++p) {
-      auto& src = buckets[p].rows[t];
-      out.parts[t].insert(out.parts[t].end(),
-                          std::make_move_iterator(src.begin()),
-                          std::make_move_iterator(src.end()));
-      out.bytes[t] += buckets[p].bytes[t];
-    }
-  });
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      stage->op + ".shuffle_fetch", n, stage,
+      [&](size_t t) {
+        size_t total = 0;
+        for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
+        out.parts[t].reserve(total);
+        for (size_t p = 0; p < in_n; ++p) {
+          auto& src = buckets[p].rows[t];
+          out.parts[t].insert(out.parts[t].end(),
+                              std::make_move_iterator(src.begin()),
+                              std::make_move_iterator(src.end()));
+          out.bytes[t] += buckets[p].bytes[t];
+        }
+      },
+      nullptr));
 
   for (uint64_t b : recv) {
     if (b > stage->max_partition_recv_bytes) {
@@ -129,9 +144,9 @@ ShuffledParts ShuffleByKey(Cluster* cluster, const Dataset& in,
 /// Shuffle path of operators that group/join on `key_cols`: reuses the input
 /// partitions (zero movement — and still one sizing walk for the work meter)
 /// when the guarantee already holds, otherwise hash-shuffles.
-ShuffledParts ShuffleOrReuse(Cluster* cluster, const Dataset& in,
-                             const std::vector<int>& key_cols,
-                             StageStats* stage) {
+StatusOr<ShuffledParts> ShuffleOrReuse(Cluster* cluster, const Dataset& in,
+                                       const std::vector<int>& key_cols,
+                                       StageStats* stage) {
   if (in.partitioning.IsHashOn(key_cols)) {
     ShuffledParts out;
     out.parts = in.partitions;
@@ -287,7 +302,8 @@ StatusOr<Dataset> Repartition(Cluster* cluster, const Dataset& in,
   StageStats stage;
   stage.op = name;
   stage.rows_in = in.NumRows();
-  ShuffledParts sp = ShuffleOrReuse(cluster, in, key_cols, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts sp,
+                          ShuffleOrReuse(cluster, in, key_cols, &stage));
   Dataset out;
   out.schema = in.schema;
   out.partitions = std::move(sp.parts);
@@ -309,8 +325,10 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   StageStats stage;
   stage.op = name;
   stage.rows_in = left.NumRows() + right.NumRows();
-  ShuffledParts lsp = ShuffleOrReuse(cluster, left, left_keys, &stage);
-  ShuffledParts rsp = ShuffleOrReuse(cluster, right, right_keys, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts lsp,
+                          ShuffleOrReuse(cluster, left, left_keys, &stage));
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts rsp,
+                          ShuffleOrReuse(cluster, right, right_keys, &stage));
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);
@@ -318,11 +336,19 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    out_bytes[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
-                             type, right.schema.size(), &out.partitions[p]);
-    work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
-  });
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage,
+      [&](size_t p) {
+        out_bytes[p] =
+            LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys, type,
+                      right.schema.size(), &out.partitions[p]);
+        work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
+      },
+      [&](size_t p) {
+        out.partitions[p].clear();
+        out_bytes[p] = 0;
+        work.Reset(p);
+      }));
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -371,11 +397,19 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   std::vector<uint64_t> left_bytes =
       left.PartitionBytes(cluster->num_threads());
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    out_bytes[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
-                             type, right.schema.size(), &out.partitions[p]);
-    work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
-  });
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage,
+      [&](size_t p) {
+        out_bytes[p] =
+            LocalJoin(left.partitions[p], bcast, left_keys, right_keys, type,
+                      right.schema.size(), &out.partitions[p]);
+        work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
+      },
+      [&](size_t p) {
+        out.partitions[p].clear();
+        out_bytes[p] = 0;
+        work.Reset(p);
+      }));
   work.Finalize(&stage);
   // Left rows did not move: the left guarantee (if any) is preserved.
   out.partitioning = left.partitioning;
@@ -401,7 +435,8 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   StageStats stage;
   stage.op = name;
   stage.rows_in = in.NumRows();
-  ShuffledParts sp = ShuffleOrReuse(cluster, in, key_cols, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts sp,
+                          ShuffleOrReuse(cluster, in, key_cols, &stage));
 
   Schema out_schema;
   for (int c : key_cols) {
@@ -421,7 +456,7 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
+  auto nest_task = [&](size_t p) {
     std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
     std::vector<std::pair<KeyView, std::vector<Row>>> groups;
     for (const auto& row : sp.parts[p]) {
@@ -454,7 +489,13 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
       out.partitions[p].push_back(std::move(row));
     }
     work.Add(p, sp.bytes[p] + out_bytes[p]);
-  });
+  };
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage, nest_task, [&](size_t p) {
+        out.partitions[p].clear();
+        out_bytes[p] = 0;
+        work.Reset(p);
+      }));
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(
       [&] {
@@ -568,36 +609,58 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   Dataset partial;
   partial.schema = out_schema;
   partial.partitions.resize(in_parts);
-  if (map_side_combine) {
-    std::vector<uint64_t> in_bytes = in.PartitionBytes(cluster->num_threads());
-    cluster->RunParallel(in_parts, [&](size_t p) {
-      partial.partitions[p] = aggregate(in.partitions[p], false);
-      uint64_t partial_bytes = 0;
-      for (const auto& r : partial.partitions[p]) {
-        partial_bytes += RowDeepSize(r);
-      }
-      work.Add(p, in_bytes[p] + partial_bytes);
-    });
-  } else {
-    // Reshape rows to (key, value) layout without combining.
-    cluster->RunParallel(in_parts, [&](size_t p) {
-      partial.partitions[p].reserve(in.partitions[p].size());
-      uint64_t in_bytes = 0;
-      for (const auto& row : in.partitions[p]) {
-        in_bytes += RowDeepSize(row);
-        Row r;
-        for (int c : key_cols) {
-          r.fields.push_back(row.fields[static_cast<size_t>(c)]);
-        }
-        for (size_t i = 0; i < value_cols.size(); ++i) {
-          // NULLs pass through so the final aggregation pass can apply the
-          // miss-marker rule uniformly.
-          r.fields.push_back(row.fields[static_cast<size_t>(value_cols[i])]);
-        }
-        partial.partitions[p].push_back(std::move(r));
-      }
-      work.Add(p, in_bytes);
-    });
+  // The aggregate runs up to three task loops over the same work meter, so
+  // each loop accumulates into its own local vector (folded into the meter
+  // after its barrier): a recovery reset may then zero the current loop's
+  // slot without destroying an earlier loop's contribution.
+  {
+    std::vector<uint64_t> local_work(in_parts, 0);
+    if (map_side_combine) {
+      std::vector<uint64_t> in_bytes =
+          in.PartitionBytes(cluster->num_threads());
+      TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+          name + ".combine", in_parts, &stage,
+          [&](size_t p) {
+            partial.partitions[p] = aggregate(in.partitions[p], false);
+            uint64_t partial_bytes = 0;
+            for (const auto& r : partial.partitions[p]) {
+              partial_bytes += RowDeepSize(r);
+            }
+            local_work[p] = in_bytes[p] + partial_bytes;
+          },
+          [&](size_t p) {
+            partial.partitions[p].clear();
+            local_work[p] = 0;
+          }));
+    } else {
+      // Reshape rows to (key, value) layout without combining.
+      TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+          name + ".reshape", in_parts, &stage,
+          [&](size_t p) {
+            partial.partitions[p].reserve(in.partitions[p].size());
+            uint64_t in_bytes = 0;
+            for (const auto& row : in.partitions[p]) {
+              in_bytes += RowDeepSize(row);
+              Row r;
+              for (int c : key_cols) {
+                r.fields.push_back(row.fields[static_cast<size_t>(c)]);
+              }
+              for (size_t i = 0; i < value_cols.size(); ++i) {
+                // NULLs pass through so the final aggregation pass can apply
+                // the miss-marker rule uniformly.
+                r.fields.push_back(
+                    row.fields[static_cast<size_t>(value_cols[i])]);
+              }
+              partial.partitions[p].push_back(std::move(r));
+            }
+            local_work[p] = in_bytes;
+          },
+          [&](size_t p) {
+            partial.partitions[p].clear();
+            local_work[p] = 0;
+          }));
+    }
+    for (size_t p = 0; p < in_parts; ++p) work.Add(p, local_work[p]);
   }
   std::vector<int> partial_keys;
   for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
@@ -607,20 +670,33 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                              ? Partitioning::Hash(partial_keys)
                              : Partitioning::None();
 
-  ShuffledParts sp = ShuffleOrReuse(cluster, partial, partial_keys, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts sp,
+                          ShuffleOrReuse(cluster, partial, partial_keys,
+                                         &stage));
 
   Dataset out;
   out.schema = out_schema;
   const size_t nparts = sp.parts.size();
   out.partitions.resize(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    out.partitions[p] = aggregate(sp.parts[p], true);
-    for (const auto& r : out.partitions[p]) {
-      out_bytes[p] += RowDeepSize(r);
-    }
-    work.Add(p, sp.bytes[p] + out_bytes[p]);
-  });
+  {
+    std::vector<uint64_t> local_work(nparts, 0);
+    TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+        name, nparts, &stage,
+        [&](size_t p) {
+          out.partitions[p] = aggregate(sp.parts[p], true);
+          for (const auto& r : out.partitions[p]) {
+            out_bytes[p] += RowDeepSize(r);
+          }
+          local_work[p] = sp.bytes[p] + out_bytes[p];
+        },
+        [&](size_t p) {
+          out.partitions[p].clear();
+          out_bytes[p] = 0;
+          local_work[p] = 0;
+        }));
+    for (size_t p = 0; p < nparts; ++p) work.Add(p, local_work[p]);
+  }
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(partial_keys);
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -684,23 +760,28 @@ StatusOr<Dataset> UnionAll(Cluster* cluster, const Dataset& a,
   out.schema = a.schema;
   const size_t nparts = std::max(a.partitions.size(), b.partitions.size());
   out.partitions.resize(nparts);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    size_t total = (p < a.partitions.size() ? a.partitions[p].size() : 0) +
-                   (p < b.partitions.size() ? b.partitions[p].size() : 0);
-    out.partitions[p].reserve(total);
-    if (p < a.partitions.size()) {
-      out.partitions[p].insert(out.partitions[p].end(),
-                               a.partitions[p].begin(), a.partitions[p].end());
-    }
-    if (p < b.partitions.size()) {
-      out.partitions[p].insert(out.partitions[p].end(),
-                               b.partitions[p].begin(), b.partitions[p].end());
-    }
-  });
-  out.partitioning = Partitioning::None();
   StageStats stage;
   stage.op = name;
   stage.rows_in = a.NumRows() + b.NumRows();
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage,
+      [&](size_t p) {
+        size_t total = (p < a.partitions.size() ? a.partitions[p].size() : 0) +
+                       (p < b.partitions.size() ? b.partitions[p].size() : 0);
+        out.partitions[p].reserve(total);
+        if (p < a.partitions.size()) {
+          out.partitions[p].insert(out.partitions[p].end(),
+                                   a.partitions[p].begin(),
+                                   a.partitions[p].end());
+        }
+        if (p < b.partitions.size()) {
+          out.partitions[p].insert(out.partitions[p].end(),
+                                   b.partitions[p].begin(),
+                                   b.partitions[p].end());
+        }
+      },
+      [&](size_t p) { out.partitions[p].clear(); }));
+  out.partitioning = Partitioning::None();
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
   return out;
 }
@@ -714,24 +795,32 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   for (int i = 0; i < static_cast<int>(in.schema.size()); ++i) {
     all_cols.push_back(i);
   }
-  ShuffledParts sp = ShuffleOrReuse(cluster, in, all_cols, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts sp,
+                          ShuffleOrReuse(cluster, in, all_cols, &stage));
   Dataset out;
   out.schema = in.schema;
   const size_t nparts = sp.parts.size();
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
-    std::unordered_set<KeyView, KeyViewHash, KeyViewEq> seen;
-    for (const auto& row : sp.parts[p]) {
-      KeyView k{row.fields};
-      if (seen.insert(k).second) {
-        out_bytes[p] += RowDeepSize(row);
-        out.partitions[p].push_back(row);
-      }
-    }
-    work.Add(p, sp.bytes[p] + out_bytes[p]);
-  });
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage,
+      [&](size_t p) {
+        std::unordered_set<KeyView, KeyViewHash, KeyViewEq> seen;
+        for (const auto& row : sp.parts[p]) {
+          KeyView k{row.fields};
+          if (seen.insert(k).second) {
+            out_bytes[p] += RowDeepSize(row);
+            out.partitions[p].push_back(row);
+          }
+        }
+        work.Add(p, sp.bytes[p] + out_bytes[p]);
+      },
+      [&](size_t p) {
+        out.partitions[p].clear();
+        out_bytes[p] = 0;
+        work.Reset(p);
+      }));
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(all_cols));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -748,8 +837,10 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   StageStats stage;
   stage.op = name;
   stage.rows_in = left.NumRows() + right.NumRows();
-  ShuffledParts lsp = ShuffleOrReuse(cluster, left, left_keys, &stage);
-  ShuffledParts rsp = ShuffleOrReuse(cluster, right, right_keys, &stage);
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts lsp,
+                          ShuffleOrReuse(cluster, left, left_keys, &stage));
+  TRANCE_ASSIGN_OR_RETURN(ShuffledParts rsp,
+                          ShuffleOrReuse(cluster, right, right_keys, &stage));
 
   Schema out_schema = left.schema;
   std::vector<nrc::Field> bag_fields;
@@ -766,7 +857,7 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
-  cluster->RunParallel(nparts, [&](size_t p) {
+  auto cogroup_task = [&](size_t p) {
     std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
         built;
     for (const auto& r : rsp.parts[p]) {
@@ -794,7 +885,13 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
       out.partitions[p].push_back(std::move(row));
     }
     work.Add(p, lsp.bytes[p] + rsp.bytes[p]);
-  });
+  };
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      name, nparts, &stage, cogroup_task, [&](size_t p) {
+        out.partitions[p].clear();
+        out_bytes[p] = 0;
+        work.Reset(p);
+      }));
   work.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,

@@ -131,10 +131,11 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
   std::vector<std::vector<uint64_t>> transform_rows(
       nparts, std::vector<uint64_t>(len, 0));
 
-  cluster->RunParallel(nparts, [&](size_t p) {
+  auto task = [&](size_t p) {
     // Per-partition id counters reproduce the standalone operators' uid
     // scheme exactly: ids depend only on the partition and the row order,
-    // both of which fusion preserves.
+    // both of which fusion preserves (and they live inside the task, so a
+    // recovery re-execution restarts them from zero).
     std::vector<int64_t> uid(len, 0);
     std::vector<Row>& sink = out.partitions[p];
     std::vector<uint64_t>& t_rows = transform_rows[p];
@@ -225,10 +226,23 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
       if (charge_input) work[p] += RowDeepSize(row);
       feed(0, row);
     }
-  });
+  };
 
   StageStats stage;
   stage.op = stage_name;
+  // Injected crash faults discard the partition's accumulator slots; the
+  // retry recomputes them from in.partitions[p], which the chain never
+  // mutates.
+  TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
+      stage_name, nparts, &stage, task, [&](size_t p) {
+        out.partitions[p].clear();
+        work[p] = 0;
+        rows_in[p] = 0;
+        out_bytes[p] = 0;
+        avoided[p] = 0;
+        transform_rows[p].assign(len, 0);
+      }));
+
   // Pre-set attribution to the chain's last plan node (RecordStage falls
   // back to the cluster scope stack only when this stays empty).
   stage.scope = chain.back().scope;

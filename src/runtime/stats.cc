@@ -57,16 +57,24 @@ std::string JobStats::ToString() const {
      << ", max_partition_work=" << FormatBytes(sk.max_partition_work_bytes)
      << ", straggler=" << FormatDouble(sk.worst_imbalance, 2) << "x"
      << (sk.worst_stage.empty() ? "" : "@" + sk.worst_stage)
-     << ", heavy_keys=" << sk.heavy_key_count
-     << ", sim_time=" << FormatDouble(sim_seconds_, 3) << "s}";
+     << ", heavy_keys=" << sk.heavy_key_count;
+  if (injected_faults_ > 0) {
+    os << ", injected_faults=" << injected_faults_ << ", retries=" << retries_
+       << ", recovery=" << FormatDouble(recovery_sim_seconds_, 3) << "s";
+  }
+  os << ", sim_time=" << FormatDouble(sim_seconds_, 3) << "s}";
   for (const auto& s : stages_) {
     os << "\n  " << s.op << ": in=" << s.rows_in << " out=" << s.rows_out
        << " shuffle=" << FormatBytes(s.shuffle_bytes)
        << " max_recv=" << FormatBytes(s.max_partition_recv_bytes)
        << " max_work=" << FormatBytes(s.max_partition_work_bytes)
        << " imb=" << FormatDouble(s.ImbalanceFactor(), 2) << "x"
-       << " mode=" << DataMovementName(s.movement)
-       << " t=" << FormatDouble(s.sim_seconds, 4) << "s";
+       << " mode=" << DataMovementName(s.movement);
+    if (s.injected_faults > 0) {
+      os << " faults=" << s.injected_faults
+         << " recovery=" << FormatDouble(s.recovery_sim_seconds, 4) << "s";
+    }
+    os << " t=" << FormatDouble(s.sim_seconds, 4) << "s";
   }
   return os.str();
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault.h"
+
 namespace trance {
 namespace runtime {
 
@@ -70,6 +72,23 @@ struct StageStats {
   /// transforms (rows emitted by every non-final transform); 0 for unfused
   /// stages.
   uint64_t intermediate_bytes_avoided = 0;
+  /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
+  /// when the injector is disabled). Every non-recovery field above is
+  /// bit-identical between a fault-free run and a run whose injected faults
+  /// were all recovered — recovery is stats-transparent.
+  std::vector<FaultEvent> fault_events;  // (partition, attempt, kind) log
+  uint64_t injected_faults = 0;          // faults injected into this stage
+  uint64_t retries = 0;                  // task re-executions performed
+  /// Per-task-slot retry counts (indexed like the stage's task loop; empty
+  /// when no fault hit the stage).
+  std::vector<uint64_t> partition_retries;
+  /// Simulated seconds recovery cost this stage: per fault, the bounded
+  /// exponential backoff plus the discarded attempt's work (crash kinds,
+  /// cpu cost of the partition's work bytes) or re-fetch (fetch loss, net
+  /// cost of the partition's recv bytes). Kept OUT of sim_seconds so
+  /// fault-free and recovered runs report identical base stats; stamped by
+  /// Cluster::RecordStage.
+  double recovery_sim_seconds = 0;
   double sim_seconds = 0;
   /// Wall-clock interval of the stage on the process trace timeline
   /// (microseconds since trance::WallMicros epoch); stamped by
@@ -106,6 +125,9 @@ class JobStats {
     sim_seconds_ += s.sim_seconds;
     if (!s.fused_transforms.empty()) ++fused_stages_;
     intermediate_bytes_avoided_ += s.intermediate_bytes_avoided;
+    injected_faults_ += s.injected_faults;
+    retries_ += s.retries;
+    recovery_sim_seconds_ += s.recovery_sim_seconds;
     stages_.push_back(std::move(s));
   }
 
@@ -125,6 +147,13 @@ class JobStats {
   uint64_t intermediate_bytes_avoided() const {
     return intermediate_bytes_avoided_;
   }
+  /// Faults injected across all stages (0 on fault-free runs).
+  uint64_t injected_faults() const { return injected_faults_; }
+  /// Task re-executions the recovery loop performed.
+  uint64_t retries() const { return retries_; }
+  /// Total simulated recovery time (backoff + discarded attempts); reported
+  /// separately from sim_seconds() so base stats stay fault-invariant.
+  double recovery_sim_seconds() const { return recovery_sim_seconds_; }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -137,6 +166,9 @@ class JobStats {
     sim_seconds_ = 0;
     fused_stages_ = 0;
     intermediate_bytes_avoided_ = 0;
+    injected_faults_ = 0;
+    retries_ = 0;
+    recovery_sim_seconds_ = 0;
   }
 
   std::string ToString() const;
@@ -149,6 +181,9 @@ class JobStats {
   double sim_seconds_ = 0;
   uint64_t fused_stages_ = 0;
   uint64_t intermediate_bytes_avoided_ = 0;
+  uint64_t injected_faults_ = 0;
+  uint64_t retries_ = 0;
+  double recovery_sim_seconds_ = 0;
 };
 
 }  // namespace runtime
