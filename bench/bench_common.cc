@@ -114,6 +114,10 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.injected_faults = stats.injected_faults();
   r.retries = stats.retries();
   r.recovery_sim_s = stats.recovery_sim_seconds();
+  r.key_encode_bytes = stats.key_encode_bytes();
+  r.hash_build_rows = stats.hash_build_rows();
+  r.hash_probe_hits = stats.hash_probe_hits();
+  r.hash_max_chain = stats.hash_max_chain();
   r.stats = stats;
   r.ok = st.ok();
   if (!st.ok()) r.fail_reason = st.ToString();
@@ -219,6 +223,14 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.retries);
     w.Key("recovery_sim_seconds");
     w.Number(r.recovery_sim_s);
+    w.Key("key_encode_bytes");
+    w.Uint(r.key_encode_bytes);
+    w.Key("hash_build_rows");
+    w.Uint(r.hash_build_rows);
+    w.Key("hash_probe_hits");
+    w.Uint(r.hash_probe_hits);
+    w.Key("hash_max_chain");
+    w.Uint(r.hash_max_chain);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

@@ -47,6 +47,14 @@ struct RunResult {
   uint64_t injected_faults = 0;
   uint64_t retries = 0;
   double recovery_sim_s = 0;
+  /// Encoded-key telemetry (PR 5): bytes written by the binary key codec
+  /// (0 when ExecOptions::enable_key_codec is off) and the codec-invariant
+  /// keyed hash-table counters (new keys built, lookups that hit, worst
+  /// rows-per-key chain across stages). See docs/METRICS.md.
+  uint64_t key_encode_bytes = 0;
+  uint64_t hash_build_rows = 0;
+  uint64_t hash_probe_hits = 0;
+  uint64_t hash_max_chain = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

@@ -1,0 +1,20 @@
+// A tiny Figure-7 run for CI smoke checks (ci/bench_smoke.sh): one
+// flat-to-nested depth-0/1 pass per compilation route at a very small scale,
+// single-threaded, writing BENCH_fig7_smoke.json. The point is not the
+// numbers but that every route executes and the report schema stays in sync
+// with docs/METRICS.md.
+#include "fig7_harness.h"
+
+int main() {
+  trance::bench::EnableBenchObservability();
+  trance::bench::Fig7Config cfg;
+  cfg.width = trance::tpch::Width::kNarrow;
+  cfg.scale = 0.001;
+  cfg.max_depth = 1;
+  cfg.num_threads = 1;
+  auto results = trance::bench::RunFig7(cfg);
+  TRANCE_CHECK(!results.empty(), "fig7 smoke produced no runs");
+  TRANCE_CHECK(trance::bench::WriteBenchReport("fig7_smoke", results).ok(),
+               "bench report");
+  return 0;
+}

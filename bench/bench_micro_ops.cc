@@ -1,9 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the runtime primitives and the
 // shredding kernels: shuffle hash join vs broadcast join, nest vs cogroup,
 // sum aggregation with/without map-side combine, value shredding and
-// unshredding, and heavy-key detection.
+// unshredding, heavy-key detection, and dedup.
+//
+// The keyed operators (join, nest, dedup) take a second argument toggling
+// ExecOptions::enable_key_codec, the binary-key/legacy-KeyView ablation of
+// PR 5. main() additionally runs a fixed-size rows/sec regression pass over
+// dedup, join build/probe, and nest with the codec on and off and writes it
+// to BENCH_micro_key_codec.json before the google-benchmark suite starts.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "nrc/builder.h"
 #include "runtime/cluster.h"
 #include "runtime/ops.h"
@@ -42,6 +49,7 @@ Dataset MakeKv(Cluster* cluster, int64_t n, int64_t keys, double zipf,
 void BM_HashJoin(benchmark::State& state) {
   ClusterConfig cfg{.num_partitions = 8};
   Cluster cluster(cfg);
+  cluster.set_key_codec_enabled(state.range(1) != 0);
   Dataset l = MakeKv(&cluster, state.range(0), 1000, 0.0, 1);
   Dataset r = MakeKv(&cluster, 1000, 1000, 0.0, 2);
   for (auto _ : state) {
@@ -52,7 +60,11 @@ void BM_HashJoin(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HashJoin)
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 0});
 
 void BM_BroadcastJoin(benchmark::State& state) {
   ClusterConfig cfg{.num_partitions = 8};
@@ -105,6 +117,7 @@ BENCHMARK(BM_SumAggregate)->Args({100000, 1})->Args({100000, 0});
 void BM_NestGroup(benchmark::State& state) {
   ClusterConfig cfg{.num_partitions = 8};
   Cluster cluster(cfg);
+  cluster.set_key_codec_enabled(state.range(1) != 0);
   Dataset ds = MakeKv(&cluster, state.range(0), 1024, 0.0, 4);
   for (auto _ : state) {
     auto out = runtime::NestGroup(&cluster, ds, {0}, {1}, "bag", "nest");
@@ -113,7 +126,36 @@ void BM_NestGroup(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_NestGroup)->Arg(100000);
+BENCHMARK(BM_NestGroup)->Args({100000, 1})->Args({100000, 0});
+
+Dataset MakeDup(Cluster* cluster, int64_t n, int64_t distinct, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t k = rng.UniformRange(0, distinct);
+    rows.push_back(Row({Field::Int(k), Field::Str("p" + std::to_string(k))}));
+  }
+  Schema s({{"k", nrc::Type::Int()}, {"p", nrc::Type::String()}});
+  return runtime::Source(cluster, std::move(s), std::move(rows), "dup")
+      .ValueOrDie();
+}
+
+void BM_Distinct(benchmark::State& state) {
+  ClusterConfig cfg{.num_partitions = 8};
+  Cluster cluster(cfg);
+  cluster.set_key_codec_enabled(state.range(1) != 0);
+  // ~16 duplicates per distinct row: the membership-test path dominates
+  // (the path that historically deep-copied the whole row per test).
+  Dataset ds = MakeDup(&cluster, state.range(0), state.range(0) / 16, 6);
+  for (auto _ : state) {
+    auto out = runtime::Distinct(&cluster, ds, "dedup");
+    benchmark::DoNotOptimize(out);
+    cluster.stats().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Distinct)->Args({100000, 1})->Args({100000, 0});
 
 void BM_HeavyKeyDetection(benchmark::State& state) {
   ClusterConfig cfg{.num_partitions = 8};
@@ -186,6 +228,68 @@ void BM_ValueUnshred(benchmark::State& state) {
 BENCHMARK(BM_ValueUnshred)->Arg(100);
 
 }  // namespace
+
+// Fixed-size regression pass over the keyed operators — dedup, join
+// build/probe, nest — with the key codec on and off. Each run lands in
+// BENCH_micro_key_codec.json with its wall time, row counts, and the keyed
+// hash-table counters (key_encode_bytes is 0 on the codec_off runs), so the
+// ablation and the Distinct full-row-copy regression are machine-checkable.
+Status RunKeyCodecAblation() {
+  std::vector<bench::RunResult> results;
+  const int64_t n = 200000;
+  for (bool codec : {true, false}) {
+    ClusterConfig cfg{.num_partitions = 8};
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(codec);
+    const std::string suffix = codec ? ".codec_on" : ".codec_off";
+
+    Dataset dup = MakeDup(&cluster, n, n / 16, 6);
+    size_t rows = 0;
+    bench::RunResult r = bench::TimedRun(
+        "distinct" + suffix, &cluster, [&]() -> Status {
+          TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                                  runtime::Distinct(&cluster, dup, "dedup"));
+          rows = out.NumRows();
+          return Status::OK();
+        });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset l = MakeKv(&cluster, n, 1000, 0.0, 1);
+    Dataset d = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+    r = bench::TimedRun("hash_join" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::HashJoin(&cluster, l, d, {0}, {0},
+                                         runtime::JoinType::kInner, "join"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset kv = MakeKv(&cluster, n, 1024, 0.0, 4);
+    r = bench::TimedRun("nest" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::NestGroup(&cluster, kv, {0}, {1}, "bag", "nest"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+  }
+  bench::PrintHeader("key codec ablation (rows/s = rows / wall)");
+  for (const auto& r : results) bench::PrintResult(r);
+  return bench::WriteBenchReport("micro_key_codec", results);
+}
+
 }  // namespace trance
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  TRANCE_CHECK(trance::RunKeyCodecAblation().ok(), "key codec ablation");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Bench smoke gate: Release-builds the bench binaries, runs one tiny Fig-7
+# pass covering every compilation route (bench_fig7_smoke) plus the
+# key-codec ablation report of bench_micro_ops (its google-benchmark suite
+# filtered out), then sanity-checks that every key appearing in the emitted
+# BENCH_*.json reports is documented in docs/METRICS.md — the
+# machine-readable twin of ci/check_docs.sh's option-struct drift guard.
+#
+# Usage: ci/bench_smoke.sh [build-dir]   (default: build-bench-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench-smoke}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_fig7_smoke bench_micro_ops -j"$(nproc)"
+
+OUT_DIR="$BUILD_DIR/bench-out"
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/BENCH_*.json
+
+TRANCE_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_fig7_smoke"
+# bench_micro_ops writes BENCH_micro_key_codec.json from its main() before
+# the google-benchmark suite starts; filter every registered benchmark out
+# so only the ablation pass runs.
+TRANCE_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_micro_ops" \
+  --benchmark_filter='^$'
+
+fail=0
+for json in "$OUT_DIR"/BENCH_*.json; do
+  case "$json" in *_trace.json) continue ;; esac
+  while IFS= read -r key; do
+    if ! grep -qF "\`$key" docs/METRICS.md; then
+      echo "UNDOCUMENTED BENCH KEY: \"$key\" (from $json) not in docs/METRICS.md"
+      fail=1
+    fi
+  done < <(grep -oE '"[A-Za-z_][A-Za-z0-9_]*"[[:space:]]*:' "$json" |
+           sed -E 's/^"//; s/"[[:space:]]*:$//' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_smoke: FAILED"
+  exit 1
+fi
+echo "bench_smoke: OK (reports: $(ls "$OUT_DIR" | tr '\n' ' '))"

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# CI-style sanitizer pass: checks the docs for drift (ci/check_docs.sh),
-# then builds the tree with TRANCE_SANITIZE=ON (ASan + UBSan) into its own
-# build directory and runs the fast observability suite (ctest label
-# `obs`), the stage-fusion equivalence suite (label `fusion`) and the
-# fault-recovery suite (label `faults`) under the sanitizers. TRANCE_WERROR
-# keeps the build warning-clean.
+# CI-style sanitizer pass: checks the docs for drift (ci/check_docs.sh)
+# and the bench-report schema (ci/bench_smoke.sh), then builds the tree
+# with TRANCE_SANITIZE=ON (ASan + UBSan) into its own build directory and
+# runs the fast observability suite (ctest label `obs`), the stage-fusion
+# equivalence suite (label `fusion`), the fault-recovery suite (label
+# `faults`) and the encoded-key suite (label `keys`) under the sanitizers.
+# TRANCE_WERROR keeps the build warning-clean.
 #
 # Usage: ci/sanitize.sh [build-dir]   (default: build-sanitize)
 set -euo pipefail
@@ -13,7 +14,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
 
 ci/check_docs.sh
+ci/bench_smoke.sh
 
 cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=ON -DTRANCE_WERROR=ON
-cmake --build "$BUILD_DIR" --target obs_test fusion_test fault_test -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'obs|fusion|faults' --output-on-failure -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target obs_test fusion_test fault_test key_codec_test -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'obs|fusion|faults|keys' --output-on-failure -j"$(nproc)"

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI-style ThreadSanitizer pass: checks the docs for drift
-# (ci/check_docs.sh), then builds the tree with TRANCE_SANITIZE=thread into
-# its own build directory and runs the suites that exercise concurrency
-# (ctest labels `parallel`, `obs`, `fusion` and `faults` — fault recovery
-# retries tasks inside the parallel loops) under TSan. The
-# partition-parallel runtime oversubscribes threads on small machines, so
-# data races are reachable (and reported) even on a single core.
+# (ci/check_docs.sh) and the bench-report schema (ci/bench_smoke.sh), then
+# builds the tree with TRANCE_SANITIZE=thread into its own build directory
+# and runs the suites that exercise concurrency (ctest labels `parallel`,
+# `obs`, `fusion`, `faults` and `keys` — fault recovery retries tasks
+# inside the parallel loops, and the encoded-key suite runs every keyed
+# operator at 1 and 4 threads) under TSan. The partition-parallel runtime
+# oversubscribes threads on small machines, so data races are reachable
+# (and reported) even on a single core.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,7 +16,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 ci/check_docs.sh
+ci/bench_smoke.sh
 
 cmake -B "$BUILD_DIR" -S . -DTRANCE_SANITIZE=thread -DTRANCE_WERROR=ON
-cmake --build "$BUILD_DIR" --target parallel_test obs_test fusion_test fault_test -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'parallel|obs|fusion|faults' --output-on-failure -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test obs_test fusion_test fault_test key_codec_test -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'parallel|obs|fusion|faults|keys' --output-on-failure -j"$(nproc)"

@@ -40,8 +40,13 @@ int main() {
   auto f = runtime::Source(&cluster, fact_schema, fact, "fact").ValueOrDie();
   auto d = runtime::Source(&cluster, dim_schema, dim, "dim").ValueOrDie();
 
-  // Heavy-key detection by per-partition sampling.
+  // Heavy-key detection by per-partition sampling. This demo prints the key
+  // values, so it detects with the legacy KeyView storage (the debug
+  // rendering type); membership — and the joins below, which run on the
+  // default binary-codec path — is identical either way.
+  cluster.set_key_codec_enabled(false);
   skew::HeavyKeySet hk = skew::DetectHeavyKeys(&cluster, f, {0});
+  cluster.set_key_codec_enabled(true);
   std::printf("detected %zu heavy keys (threshold %.1f%% of sampled tuples "
               "per partition):", hk.keys.size(),
               100 * cluster.config().heavy_key_threshold);

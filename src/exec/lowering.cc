@@ -476,9 +476,9 @@ StatusOr<SkewTriple> Executor::ExecNode(const plan::PlanPtr& p) {
             Partitioning::Hash(in.heavy_keys->key_cols), p->columns(),
             in_schema);
         if (mapped.kind == Partitioning::Kind::kHash) {
-          skew::HeavyKeySet hk;
+          // Copy the whole set so its storage mode rides along with the keys.
+          skew::HeavyKeySet hk = *in.heavy_keys;
           hk.key_cols = mapped.key_cols;
-          hk.keys = in.heavy_keys->keys;
           out.heavy_keys = std::move(hk);
         }
       }

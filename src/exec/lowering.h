@@ -39,13 +39,25 @@ struct ExecOptions {
   /// (the historical behaviour), for ablations. Results and stats are
   /// bit-identical either way, modulo stage count.
   bool enable_stage_fusion = true;
+  /// Run every keyed runtime path (join build/probe, cogroup, nest,
+  /// reduce-by-key, dedup, heavy-key sampling and probes) on the compact
+  /// binary key codec of runtime/key_codec.h instead of the historical
+  /// KeyView deep-copy containers. Escape hatch for ablations: results,
+  /// partition placement, shuffle bytes, and all pre-existing stats are
+  /// bit-identical either way (tests/key_codec_test.cc); only the
+  /// key_encode_bytes counter differs (0 when off).
+  bool enable_key_codec = true;
 };
 
 /// Executes plans against named datasets registered on a cluster.
 class Executor {
  public:
   Executor(runtime::Cluster* cluster, ExecOptions options)
-      : cluster_(cluster), options_(options) {}
+      : cluster_(cluster), options_(options) {
+    // The codec switch lives on the cluster so the runtime operators (and
+    // the skew layer) see it without threading options through every call.
+    cluster_->set_key_codec_enabled(options_.enable_key_codec);
+  }
 
   /// Registers an input (or intermediate) dataset under `name`.
   void Register(const std::string& name, runtime::Dataset ds) {

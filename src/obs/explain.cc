@@ -87,6 +87,34 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t key_encode_bytes() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->key_encode_bytes;
+    }
+    return n;
+  }
+  uint64_t hash_build_rows() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->hash_build_rows;
+    }
+    return n;
+  }
+  uint64_t hash_probe_hits() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->hash_probe_hits;
+    }
+    return n;
+  }
+  uint64_t hash_max_chain() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage && e.stage->hash_max_chain > n) n = e.stage->hash_max_chain;
+    }
+    return n;
+  }
   uint64_t injected_faults() const {
     uint64_t n = 0;
     for (const auto& e : entries) {
@@ -153,6 +181,14 @@ std::string StatsSuffix(const NodeStats& ns) {
        << FormatBytes(ls.p95) << "/" << FormatBytes(ls.max);
   }
   if (ns.heavy_keys() > 0) os << " heavy_keys=" << ns.heavy_keys();
+  if (ns.hash_build_rows() > 0 || ns.hash_probe_hits() > 0) {
+    os << " ht(build=" << ns.hash_build_rows()
+       << " hits=" << ns.hash_probe_hits()
+       << " chain=" << ns.hash_max_chain() << ")";
+  }
+  if (ns.key_encode_bytes() > 0) {
+    os << " key_bytes=" << FormatBytes(ns.key_encode_bytes());
+  }
   if (ns.bytes_avoided() > 0) {
     os << " avoided=" << FormatBytes(ns.bytes_avoided());
   }
@@ -256,6 +292,14 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
      << " straggler=" << FormatDouble(sk.worst_imbalance, 2) << "x"
      << (sk.worst_stage.empty() ? "" : "@" + sk.worst_stage)
      << " heavy_keys=" << sk.heavy_key_count;
+  if (stats.hash_build_rows() > 0 || stats.hash_probe_hits() > 0) {
+    os << " ht(build=" << stats.hash_build_rows()
+       << " hits=" << stats.hash_probe_hits()
+       << " chain=" << stats.hash_max_chain() << ")";
+  }
+  if (stats.key_encode_bytes() > 0) {
+    os << " key_bytes=" << FormatBytes(stats.key_encode_bytes());
+  }
   if (stats.injected_faults() > 0) {
     os << " injected_faults=" << stats.injected_faults()
        << " retries=" << stats.retries()

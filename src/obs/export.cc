@@ -91,6 +91,18 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("intermediate_bytes_avoided");
       w->Uint(s.intermediate_bytes_avoided);
     }
+    if (s.key_encode_bytes > 0) {
+      w->Key("key_encode_bytes");
+      w->Uint(s.key_encode_bytes);
+    }
+    if (s.hash_build_rows > 0 || s.hash_probe_hits > 0) {
+      w->Key("hash_build_rows");
+      w->Uint(s.hash_build_rows);
+      w->Key("hash_probe_hits");
+      w->Uint(s.hash_probe_hits);
+      w->Key("hash_max_chain");
+      w->Uint(s.hash_max_chain);
+    }
     if (s.injected_faults > 0) {
       w->Key("injected_faults");
       w->Uint(s.injected_faults);
@@ -148,6 +160,14 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->String(sk.worst_stage);
   w->Key("heavy_key_count");
   w->Uint(sk.heavy_key_count);
+  w->Key("key_encode_bytes");
+  w->Uint(stats.key_encode_bytes());
+  w->Key("hash_build_rows");
+  w->Uint(stats.hash_build_rows());
+  w->Key("hash_probe_hits");
+  w->Uint(stats.hash_probe_hits());
+  w->Key("hash_max_chain");
+  w->Uint(stats.hash_max_chain());
   w->Key("injected_faults");
   w->Uint(stats.injected_faults());
   w->Key("retries");

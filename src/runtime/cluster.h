@@ -11,6 +11,7 @@
 
 #include "runtime/dataset.h"
 #include "runtime/fault.h"
+#include "runtime/key_codec.h"
 #include "runtime/stats.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -142,6 +143,23 @@ class Cluster {
     return static_cast<int>(SplitMix64(key_hash ^ config_.seed) %
                             static_cast<uint64_t>(config_.num_partitions));
   }
+  /// Target partition of an encoded key. The codec's hash is exactly
+  /// RowHashOn, so this places a key on the same partition whether the
+  /// caller routed via the codec or via the legacy hash — placement is
+  /// bit-identical with the codec on or off.
+  int PartitionOf(const key_codec::EncodedKey& k) const {
+    return PartitionOf(k.hash);
+  }
+  int PartitionOf(const key_codec::EncodedKeyView& k) const {
+    return PartitionOf(k.hash);
+  }
+
+  /// Whether keyed operators run on the compact binary key codec (default)
+  /// or the historical KeyView containers. Set by the executor from
+  /// ExecOptions::enable_key_codec; results and all pre-existing stats are
+  /// bit-identical either way (tests/key_codec_test.cc).
+  bool key_codec_enabled() const { return key_codec_enabled_; }
+  void set_key_codec_enabled(bool on) { key_codec_enabled_ = on; }
 
   /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
   /// ANALYZE): stages recorded while a scope is active carry its name.
@@ -161,6 +179,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   int num_threads_;
+  bool key_codec_enabled_ = true;
   FaultInjector injector_;
   /// Driver-side stage sequence number feeding the fault injector. Stages
   /// start sequentially from the driver, so the sequence is deterministic

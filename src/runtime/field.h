@@ -115,7 +115,10 @@ bool RowLess(const Row& a, const Row& b);
 uint64_t RowDeepSize(const Row& r);
 std::string RowToString(const Row& r);
 
-/// A key extracted from a row for hashing/joining: the projected fields.
+/// A projected key as a deep copy of its fields. Since the encoded-key
+/// refactor this is a debug/EXPLAIN rendering type and the container key of
+/// the legacy keyed path (ExecOptions::enable_key_codec = false); the hot
+/// keyed operators run on runtime/key_codec.h's compact binary keys.
 struct KeyView {
   std::vector<Field> fields;
 

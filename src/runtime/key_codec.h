@@ -1,0 +1,138 @@
+// Compact binary key codec: the one key representation every keyed runtime
+// path shares (join build/probe, cogroup, nest, reduce-by-key, dedup, the
+// skew sampler's heavy-key set, and hash partitioning).
+//
+// An EncodedKey is a type-tagged, length-prefixed byte string over the
+// projected key columns plus the commutative key hash:
+//
+//   bytes:  per column, one tag byte followed by the value encoding
+//           (see key_codec.cc for the exact layout; strings and label
+//           parameter names are u32-length-prefixed, labels encode their
+//           captured params recursively);
+//   hash:   identical to RowHashOn(row, cols) — the order-insensitive
+//           per-column combine, so permuted key-column lists hash (and
+//           therefore partition) identically, preserving the
+//           Partitioning::IsHashOn reuse guarantee.
+//
+// Equality is memcmp over the bytes. This agrees with the legacy
+// KeyView-based hash containers: two keys collide in those containers iff
+// they are Field-equal AND Field-hash-equal per column, which is exactly
+// when their encodings are byte-identical (asserted by
+// tests/key_codec_test.cc over randomized values). The one deliberate
+// difference: keys are *values* — no per-probe std::vector<Field> deep
+// copy, no variant dispatch per comparison.
+//
+// Bag-typed fields are rejected at encode time with a Status (keyed
+// operators require flat keys; see docs/ARCHITECTURE.md, "Row & key
+// encoding"). KeyView survives only as a debug/EXPLAIN rendering type.
+#ifndef TRANCE_RUNTIME_KEY_CODEC_H_
+#define TRANCE_RUNTIME_KEY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runtime/field.h"
+#include "util/status.h"
+
+namespace trance {
+namespace runtime {
+namespace key_codec {
+
+/// An owning encoded key: the map/set key type of the keyed operators.
+struct EncodedKey {
+  uint64_t hash = 0;
+  std::string bytes;
+};
+
+/// A non-owning view over an encoder's scratch buffer; valid until the next
+/// Encode call on the same encoder. Probes use views so a lookup never
+/// allocates.
+struct EncodedKeyView {
+  uint64_t hash = 0;
+  std::string_view bytes;
+};
+
+/// Materializes a view into an owning key (one allocation, on insert only).
+inline EncodedKey Materialize(const EncodedKeyView& v) {
+  return EncodedKey{v.hash, std::string(v.bytes)};
+}
+
+/// Transparent hash/equality so unordered containers keyed by EncodedKey
+/// accept EncodedKeyView probes without materializing.
+struct EncodedKeyHash {
+  using is_transparent = void;
+  size_t operator()(const EncodedKey& k) const {
+    return static_cast<size_t>(k.hash);
+  }
+  size_t operator()(const EncodedKeyView& k) const {
+    return static_cast<size_t>(k.hash);
+  }
+};
+struct EncodedKeyEq {
+  using is_transparent = void;
+  bool operator()(const EncodedKey& a, const EncodedKey& b) const {
+    return a.hash == b.hash && a.bytes == b.bytes;
+  }
+  bool operator()(const EncodedKey& a, const EncodedKeyView& b) const {
+    return a.hash == b.hash && a.bytes == b.bytes;
+  }
+  bool operator()(const EncodedKeyView& a, const EncodedKey& b) const {
+    return a.hash == b.hash && a.bytes == b.bytes;
+  }
+  bool operator()(const EncodedKeyView& a, const EncodedKeyView& b) const {
+    return a.hash == b.hash && a.bytes == b.bytes;
+  }
+};
+
+/// Hash-table telemetry of one keyed phase, merged per partition in slot
+/// order after the stage barrier (so the stage totals are thread-count
+/// invariant, like every other stat).
+struct KeyStats {
+  uint64_t encode_bytes = 0;  // bytes of encoded keys produced
+  uint64_t build_rows = 0;    // rows inserted into keyed hash structures
+  uint64_t probe_hits = 0;    // lookups that found an existing key
+  uint64_t max_chain = 0;     // max input rows mapped onto a single key
+
+  void Merge(const KeyStats& o) {
+    encode_bytes += o.encode_bytes;
+    build_rows += o.build_rows;
+    probe_hits += o.probe_hits;
+    if (o.max_chain > max_chain) max_chain = o.max_chain;
+  }
+};
+
+/// Encodes projected keys into a reusable scratch buffer. One encoder per
+/// task/thread; not thread-safe. Tracks the cumulative bytes it encoded
+/// (the stage's key_encode_bytes counter).
+class KeyEncoder {
+ public:
+  /// Encodes row[cols] (in column-list order). The returned view aliases
+  /// the internal buffer and is invalidated by the next Encode call.
+  /// Fails with TypeError on bag-typed fields.
+  StatusOr<EncodedKeyView> Encode(const Row& row, const std::vector<int>& cols);
+
+  /// Encodes every field of the row (full-row key, e.g. dedup).
+  StatusOr<EncodedKeyView> EncodeRow(const Row& row);
+
+  /// Total bytes of all successful encodings since construction/reset.
+  uint64_t bytes_encoded() const { return bytes_encoded_; }
+  void ResetByteCount() { bytes_encoded_ = 0; }
+
+ private:
+  std::string buf_;
+  uint64_t bytes_encoded_ = 0;
+};
+
+/// The codec's key hash without materializing bytes: exactly
+/// RowHashOn(row, cols). Shuffle routing uses this (via RowHashOn), which
+/// is why partition placement is bit-identical with the codec on or off.
+uint64_t KeyHashOn(const Row& row, const std::vector<int>& cols);
+
+}  // namespace key_codec
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_KEY_CODEC_H_

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/key_codec.h"
 #include "util/hash.h"
 
 namespace trance {
@@ -34,6 +35,62 @@ class WorkMeter {
  private:
   std::vector<uint64_t> work_;
 };
+
+/// Per-partition keyed-phase telemetry, following the same slot discipline
+/// as WorkMeter: each task owns slot p, Finalize folds the slots in
+/// partition order after the stage barrier (stats stay thread-count
+/// invariant). A stage with several keyed loops (e.g. SumAggregate's
+/// combine + final passes) finalizes one meter per loop; the StageStats
+/// fields accumulate.
+class KeyStatsMeter {
+ public:
+  explicit KeyStatsMeter(size_t parts) : slots_(parts) {}
+  key_codec::KeyStats& slot(size_t p) { return slots_[p]; }
+  void Reset(size_t p) { slots_[p] = key_codec::KeyStats{}; }
+  void Finalize(StageStats* s) const {
+    key_codec::KeyStats total;
+    for (const auto& k : slots_) total.Merge(k);
+    s->key_encode_bytes += total.encode_bytes;
+    s->hash_build_rows += total.build_rows;
+    s->hash_probe_hits += total.probe_hits;
+    if (total.max_chain > s->hash_max_chain) {
+      s->hash_max_chain = total.max_chain;
+    }
+  }
+
+ private:
+  std::vector<key_codec::KeyStats> slots_;
+};
+
+/// Returns the first non-OK per-partition task error in partition order (so
+/// the surfaced error is deterministic regardless of thread interleaving).
+Status FirstError(const std::vector<Status>& errs) {
+  for (const Status& e : errs) {
+    if (!e.ok()) return e;
+  }
+  return Status::OK();
+}
+
+/// Static gate for the codec path of a keyed operator: a key column whose
+/// declared type is a bag can never encode, so such operators keep the
+/// legacy KeyView containers even with the codec enabled (today's
+/// semantics: bag keys compare structurally). Columns with unknown type
+/// pass the gate; a bag value reaching the encoder at run time then
+/// surfaces as a TypeError rather than a silent divergence.
+bool KeyColsEncodable(const Schema& s, const std::vector<int>& cols) {
+  for (int c : cols) {
+    const auto& t = s.col(static_cast<size_t>(c)).type;
+    if (t != nullptr && t->is_bag()) return false;
+  }
+  return true;
+}
+
+using EncodedRowPtrsMap =
+    std::unordered_map<key_codec::EncodedKey, std::vector<const Row*>,
+                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>;
+using EncodedIndexMap =
+    std::unordered_map<key_codec::EncodedKey, size_t,
+                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>;
 
 /// Accumulates `add` into `into[i]`, growing the histogram on first use (a
 /// stage may run several shuffles, e.g. both sides of a join).
@@ -90,8 +147,10 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
         b.bytes.assign(n, 0);
         b.moved.assign(n, 0);
         for (const auto& row : in.partitions[p]) {
+          // key_codec::KeyHashOn is the codec's key hash and is identical to
+          // RowHashOn, so shuffle routing never depends on the codec mode.
           size_t target = static_cast<size_t>(
-              cluster->PartitionOf(RowHashOn(row, key_cols)));
+              cluster->PartitionOf(key_codec::KeyHashOn(row, key_cols)));
           uint64_t sz = RowDeepSize(row);
           b.bytes[target] += sz;
           if (target != p) {
@@ -193,36 +252,93 @@ bool HasNullKey(const Row& r, const std::vector<int>& cols) {
 
 /// Partition-local hash join of two row lists. `right_width` is the right
 /// schema's width (an empty right partition must still NULL-pad fully).
-/// Returns the deep-size footprint of the rows it appended.
-uint64_t LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
-                   const std::vector<int>& lk, const std::vector<int>& rk,
-                   JoinType type, size_t right_width, std::vector<Row>* out) {
+/// Writes the deep-size footprint of the rows it appended to *out_bytes and
+/// the keyed-phase telemetry into *ks. With `use_codec` the build table is
+/// keyed by compact binary keys (one materialization per distinct key, no
+/// per-probe allocation); otherwise the historical KeyView containers run.
+/// Both paths count build/probe/chain identically — key identity coincides,
+/// so the counters are codec-invariant.
+Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
+                 const std::vector<int>& lk, const std::vector<int>& rk,
+                 JoinType type, size_t right_width, bool use_codec,
+                 std::vector<Row>* out, uint64_t* out_bytes,
+                 key_codec::KeyStats* ks) {
+  *out_bytes = 0;
+  auto emit_matches = [&](const Row& l, const std::vector<const Row*>& rows) {
+    for (const Row* r : rows) {
+      out->push_back(ConcatRows(l, *r));
+      *out_bytes += RowDeepSize(out->back());
+    }
+  };
+  auto emit_miss = [&](const Row& l) {
+    if (type == JoinType::kLeftOuter) {
+      out->push_back(NullPadRight(l, right_width));
+      *out_bytes += RowDeepSize(out->back());
+    }
+  };
+  if (use_codec) {
+    EncodedRowPtrsMap built;
+    built.reserve(right.size());
+    key_codec::KeyEncoder enc;
+    for (const auto& r : right) {
+      if (HasNullKey(r, rk)) continue;
+      TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k, enc.Encode(r, rk));
+      auto it = built.find(k);
+      if (it == built.end()) {
+        it = built.emplace(key_codec::Materialize(k),
+                           std::vector<const Row*>{})
+                 .first;
+        ks->build_rows++;
+      } else {
+        ks->probe_hits++;
+      }
+      it->second.push_back(&r);
+      if (it->second.size() > ks->max_chain) ks->max_chain = it->second.size();
+    }
+    for (const auto& l : left) {
+      bool matched = false;
+      if (!HasNullKey(l, lk)) {
+        TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
+                                enc.Encode(l, lk));
+        auto it = built.find(k);
+        if (it != built.end()) {
+          matched = true;
+          ks->probe_hits++;
+          emit_matches(l, it->second);
+        }
+      }
+      if (!matched) emit_miss(l);
+    }
+    ks->encode_bytes += enc.bytes_encoded();
+    return Status::OK();
+  }
   std::unordered_map<KeyView, std::vector<const Row*>, KeyViewHash, KeyViewEq>
       built;
   built.reserve(right.size());
   for (const auto& r : right) {
     if (HasNullKey(r, rk)) continue;
-    built[ExtractKey(r, rk)].push_back(&r);
+    auto [it, inserted] = built.try_emplace(ExtractKey(r, rk));
+    if (inserted) {
+      ks->build_rows++;
+    } else {
+      ks->probe_hits++;
+    }
+    it->second.push_back(&r);
+    if (it->second.size() > ks->max_chain) ks->max_chain = it->second.size();
   }
-  uint64_t out_bytes = 0;
   for (const auto& l : left) {
     bool matched = false;
     if (!HasNullKey(l, lk)) {
       auto it = built.find(ExtractKey(l, lk));
       if (it != built.end()) {
         matched = true;
-        for (const Row* r : it->second) {
-          out->push_back(ConcatRows(l, *r));
-          out_bytes += RowDeepSize(out->back());
-        }
+        ks->probe_hits++;
+        emit_matches(l, it->second);
       }
     }
-    if (!matched && type == JoinType::kLeftOuter) {
-      out->push_back(NullPadRight(l, right_width));
-      out_bytes += RowDeepSize(out->back());
-    }
+    if (!matched) emit_miss(l);
   }
-  return out_bytes;
+  return Status::OK();
 }
 
 // Stage barrier shared with the fused-stage runner.
@@ -259,7 +375,7 @@ StatusOr<Dataset> SourcePartitioned(Cluster* cluster, Schema schema,
   ds.schema = std::move(schema);
   ds.partitions.resize(static_cast<size_t>(n));
   for (auto& row : rows) {
-    int target = cluster->PartitionOf(RowHashOn(row, key_cols));
+    int target = cluster->PartitionOf(key_codec::KeyHashOn(row, key_cols));
     ds.partitions[static_cast<size_t>(target)].push_back(std::move(row));
   }
   ds.partitioning = Partitioning::Hash(std::move(key_cols));
@@ -335,21 +451,31 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   const size_t nparts = lsp.parts.size();
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
+  KeyStatsMeter kmeter(nparts);
+  const bool use_codec = cluster->key_codec_enabled() &&
+                         KeyColsEncodable(left.schema, left_keys) &&
+                         KeyColsEncodable(right.schema, right_keys);
   std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        out_bytes[p] =
-            LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys, type,
-                      right.schema.size(), &out.partitions[p]);
+        errs[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
+                            type, right.schema.size(), use_codec,
+                            &out.partitions[p], &out_bytes[p],
+                            &kmeter.slot(p));
         work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
       },
       [&](size_t p) {
         out.partitions[p].clear();
         out_bytes[p] = 0;
         work.Reset(p);
+        kmeter.Reset(p);
+        errs[p] = Status::OK();
       }));
+  TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
+  kmeter.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -394,23 +520,33 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   const size_t nparts = left.partitions.size();
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
+  KeyStatsMeter kmeter(nparts);
+  const bool use_codec = cluster->key_codec_enabled() &&
+                         KeyColsEncodable(left.schema, left_keys) &&
+                         KeyColsEncodable(right.schema, right_keys);
   std::vector<uint64_t> left_bytes =
       left.PartitionBytes(cluster->num_threads());
   std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        out_bytes[p] =
-            LocalJoin(left.partitions[p], bcast, left_keys, right_keys, type,
-                      right.schema.size(), &out.partitions[p]);
+        errs[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
+                            type, right.schema.size(), use_codec,
+                            &out.partitions[p], &out_bytes[p],
+                            &kmeter.slot(p));
         work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
       },
       [&](size_t p) {
         out.partitions[p].clear();
         out_bytes[p] = 0;
         work.Reset(p);
+        kmeter.Reset(p);
+        errs[p] = Status::OK();
       }));
+  TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
+  kmeter.Finalize(&stage);
   // Left rows did not move: the left guarantee (if any) is preserved.
   out.partitioning = left.partitioning;
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -456,13 +592,19 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
+  const bool use_codec =
+      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
+  std::vector<Status> errs(nparts);
   auto nest_task = [&](size_t p) {
-    std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
-    std::vector<std::pair<KeyView, std::vector<Row>>> groups;
-    for (const auto& row : sp.parts[p]) {
-      KeyView k = ExtractKey(row, key_cols);
-      auto [it, inserted] = index.try_emplace(k, groups.size());
-      if (inserted) groups.emplace_back(k, std::vector<Row>{});
+    // Group storage is mode-independent: (key fields of the first row that
+    // created the group, members), in first-seen order. The two key paths
+    // only differ in how a row finds its group index.
+    std::vector<std::pair<std::vector<Field>, std::vector<Row>>> groups;
+    std::vector<uint64_t> group_rows;  // rows mapped per group (chain stat)
+    key_codec::KeyStats& ks = kmeter.slot(p);
+    auto add_row = [&](size_t gi, const Row& row) {
+      if (++group_rows[gi] > ks.max_chain) ks.max_chain = group_rows[gi];
       // NULL-to-empty-bag cast: a miss row marks a key with no inner
       // elements (outer join/unnest miss); it creates the group only.
       bool miss = !miss_cols.empty();
@@ -478,12 +620,53 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         for (int c : value_cols) {
           inner.fields.push_back(row.fields[static_cast<size_t>(c)]);
         }
-        groups[it->second].second.push_back(std::move(inner));
+        groups[gi].second.push_back(std::move(inner));
+      }
+    };
+    if (use_codec) {
+      EncodedIndexMap index;
+      key_codec::KeyEncoder enc;
+      for (const auto& row : sp.parts[p]) {
+        auto kv = enc.Encode(row, key_cols);
+        if (!kv.ok()) {
+          errs[p] = kv.status();
+          return;
+        }
+        size_t gi;
+        auto it = index.find(kv.value());
+        if (it == index.end()) {
+          gi = groups.size();
+          index.emplace(key_codec::Materialize(kv.value()), gi);
+          groups.emplace_back(ExtractKey(row, key_cols).fields,
+                              std::vector<Row>{});
+          group_rows.push_back(0);
+          ks.build_rows++;
+        } else {
+          gi = it->second;
+          ks.probe_hits++;
+        }
+        add_row(gi, row);
+      }
+      ks.encode_bytes += enc.bytes_encoded();
+    } else {
+      std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
+      for (const auto& row : sp.parts[p]) {
+        auto [it, inserted] =
+            index.try_emplace(ExtractKey(row, key_cols), groups.size());
+        size_t gi = it->second;
+        if (inserted) {
+          groups.emplace_back(it->first.fields, std::vector<Row>{});
+          group_rows.push_back(0);
+          ks.build_rows++;
+        } else {
+          ks.probe_hits++;
+        }
+        add_row(gi, row);
       }
     }
-    for (auto& [k, members] : groups) {
+    for (auto& [key_fields, members] : groups) {
       Row row;
-      row.fields = k.fields;
+      row.fields = std::move(key_fields);
       row.fields.push_back(Field::Bag(std::move(members)));
       out_bytes[p] += RowDeepSize(row);
       out.partitions[p].push_back(std::move(row));
@@ -495,8 +678,12 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         out.partitions[p].clear();
         out_bytes[p] = 0;
         work.Reset(p);
+        kmeter.Reset(p);
+        errs[p] = Status::OK();
       }));
+  TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
+  kmeter.Finalize(&stage);
   out.partitioning = Partitioning::Hash(
       [&] {
         std::vector<int> cols;
@@ -541,32 +728,40 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                      col.type->scalar_kind() == nrc::ScalarKind::kInt);
   }
 
+  std::vector<int> partial_keys;
+  for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
+    partial_keys.push_back(i);
+  }
+  const bool use_codec =
+      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
+
   // Local aggregation of one row list into (key, sums) rows. A row whose
   // value fields are all NULL marks an outer miss: it creates the group but
   // contributes nothing; groups with no contribution emit NULL values.
   // Reads only its arguments and the (const) captured column metadata, so
-  // the partition-parallel loops below may share it.
+  // the partition-parallel loops below may share it. Group storage and
+  // emission are mode-independent (key fields of the first row that created
+  // the group, in first-seen order); only the group lookup differs.
   struct Acc {
     std::vector<double> sums;
     bool seen = false;
   };
-  auto aggregate = [&](const std::vector<Row>& rows, bool rows_are_partial)
-      -> std::vector<Row> {
-    std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
-    std::vector<std::pair<KeyView, Acc>> groups;
-    for (const auto& row : rows) {
-      KeyView k = rows_are_partial
-                      ? KeyView{{row.fields.begin(),
-                                 row.fields.begin() +
-                                     static_cast<long>(key_cols.size())}}
-                      : ExtractKey(row, key_cols);
-      auto [it, inserted] = index.try_emplace(k, groups.size());
-      if (inserted) {
-        Acc acc;
-        acc.sums.assign(value_cols.size(), 0.0);
-        groups.emplace_back(k, std::move(acc));
-      }
-      Acc& acc = groups[it->second].second;
+  auto aggregate = [&](const std::vector<Row>& rows, bool rows_are_partial,
+                       key_codec::KeyStats* ks,
+                       std::vector<Row>* out_rows) -> Status {
+    std::vector<std::pair<std::vector<Field>, Acc>> groups;
+    std::vector<uint64_t> group_rows;
+    const std::vector<int>& cols = rows_are_partial ? partial_keys : key_cols;
+    auto key_fields_of = [&](const Row& row) {
+      return rows_are_partial
+                 ? std::vector<Field>{row.fields.begin(),
+                                      row.fields.begin() +
+                                          static_cast<long>(key_cols.size())}
+                 : ExtractKey(row, key_cols).fields;
+    };
+    auto fold = [&](size_t gi, const Row& row) {
+      if (++group_rows[gi] > ks->max_chain) ks->max_chain = group_rows[gi];
+      Acc& acc = groups[gi].second;
       bool all_null = !value_cols.empty();
       for (size_t i = 0; i < value_cols.size(); ++i) {
         const Field& f =
@@ -575,7 +770,7 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                 : row.fields[static_cast<size_t>(value_cols[i])];
         if (!f.is_null()) all_null = false;
       }
-      if (all_null) continue;  // miss marker: group exists, no contribution
+      if (all_null) return;  // miss marker: group exists, no contribution
       acc.seen = true;
       for (size_t i = 0; i < value_cols.size(); ++i) {
         const Field& f =
@@ -584,12 +779,51 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                 : row.fields[static_cast<size_t>(value_cols[i])];
         if (!f.is_null()) acc.sums[i] += f.AsNumber();  // lone NULL casts to 0
       }
+    };
+    auto new_group = [&](std::vector<Field> key_fields) {
+      Acc acc;
+      acc.sums.assign(value_cols.size(), 0.0);
+      groups.emplace_back(std::move(key_fields), std::move(acc));
+      group_rows.push_back(0);
+      ks->build_rows++;
+    };
+    if (use_codec) {
+      EncodedIndexMap index;
+      key_codec::KeyEncoder enc;
+      for (const auto& row : rows) {
+        TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
+                                enc.Encode(row, cols));
+        size_t gi;
+        auto it = index.find(k);
+        if (it == index.end()) {
+          gi = groups.size();
+          index.emplace(key_codec::Materialize(k), gi);
+          new_group(key_fields_of(row));
+        } else {
+          gi = it->second;
+          ks->probe_hits++;
+        }
+        fold(gi, row);
+      }
+      ks->encode_bytes += enc.bytes_encoded();
+    } else {
+      std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
+      for (const auto& row : rows) {
+        auto [it, inserted] =
+            index.try_emplace(KeyView{key_fields_of(row)}, groups.size());
+        size_t gi = it->second;
+        if (inserted) {
+          new_group(it->first.fields);
+        } else {
+          ks->probe_hits++;
+        }
+        fold(gi, row);
+      }
     }
-    std::vector<Row> out;
-    out.reserve(groups.size());
-    for (auto& [k, acc] : groups) {
+    out_rows->reserve(groups.size());
+    for (auto& [key_fields, acc] : groups) {
       Row row;
-      row.fields = k.fields;
+      row.fields = std::move(key_fields);
       for (size_t i = 0; i < acc.sums.size(); ++i) {
         if (!acc.seen) {
           row.fields.push_back(Field::Null());
@@ -599,9 +833,9 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                         : Field::Real(acc.sums[i]));
         }
       }
-      out.push_back(std::move(row));
+      out_rows->push_back(std::move(row));
     }
-    return out;
+    return Status::OK();
   };
 
   const size_t in_parts = in.partitions.size();
@@ -618,10 +852,13 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
     if (map_side_combine) {
       std::vector<uint64_t> in_bytes =
           in.PartitionBytes(cluster->num_threads());
+      KeyStatsMeter kmeter(in_parts);
+      std::vector<Status> errs(in_parts);
       TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
           name + ".combine", in_parts, &stage,
           [&](size_t p) {
-            partial.partitions[p] = aggregate(in.partitions[p], false);
+            errs[p] = aggregate(in.partitions[p], false, &kmeter.slot(p),
+                                &partial.partitions[p]);
             uint64_t partial_bytes = 0;
             for (const auto& r : partial.partitions[p]) {
               partial_bytes += RowDeepSize(r);
@@ -631,7 +868,11 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
           [&](size_t p) {
             partial.partitions[p].clear();
             local_work[p] = 0;
+            kmeter.Reset(p);
+            errs[p] = Status::OK();
           }));
+      TRANCE_RETURN_NOT_OK(FirstError(errs));
+      kmeter.Finalize(&stage);
     } else {
       // Reshape rows to (key, value) layout without combining.
       TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
@@ -662,10 +903,6 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
     }
     for (size_t p = 0; p < in_parts; ++p) work.Add(p, local_work[p]);
   }
-  std::vector<int> partial_keys;
-  for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
-    partial_keys.push_back(i);
-  }
   partial.partitioning = in.partitioning.IsHashOn(key_cols)
                              ? Partitioning::Hash(partial_keys)
                              : Partitioning::None();
@@ -681,10 +918,13 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   std::vector<uint64_t> out_bytes(nparts, 0);
   {
     std::vector<uint64_t> local_work(nparts, 0);
+    KeyStatsMeter kmeter(nparts);
+    std::vector<Status> errs(nparts);
     TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
         name, nparts, &stage,
         [&](size_t p) {
-          out.partitions[p] = aggregate(sp.parts[p], true);
+          errs[p] = aggregate(sp.parts[p], true, &kmeter.slot(p),
+                              &out.partitions[p]);
           for (const auto& r : out.partitions[p]) {
             out_bytes[p] += RowDeepSize(r);
           }
@@ -694,7 +934,11 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
           out.partitions[p].clear();
           out_bytes[p] = 0;
           local_work[p] = 0;
+          kmeter.Reset(p);
+          errs[p] = Status::OK();
         }));
+    TRANCE_RETURN_NOT_OK(FirstError(errs));
+    kmeter.Finalize(&stage);
     for (size_t p = 0; p < nparts; ++p) work.Add(p, local_work[p]);
   }
   work.Finalize(&stage);
@@ -803,15 +1047,59 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
+  // Dedup keys on every column, so any bag-typed column sends the whole
+  // operator down the legacy path (bag keys compare structurally there).
+  const bool use_codec =
+      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, all_cols);
+  std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        std::unordered_set<KeyView, KeyViewHash, KeyViewEq> seen;
-        for (const auto& row : sp.parts[p]) {
-          KeyView k{row.fields};
-          if (seen.insert(k).second) {
-            out_bytes[p] += RowDeepSize(row);
-            out.partitions[p].push_back(row);
+        key_codec::KeyStats& ks = kmeter.slot(p);
+        auto emit = [&](const Row& row) {
+          out_bytes[p] += RowDeepSize(row);
+          out.partitions[p].push_back(row);
+        };
+        if (use_codec) {
+          // The membership test encodes into the task's scratch buffer and
+          // probes without materializing — the fix for the historical
+          // full-row KeyView deep copy per test.
+          std::unordered_map<key_codec::EncodedKey, uint64_t,
+                             key_codec::EncodedKeyHash,
+                             key_codec::EncodedKeyEq>
+              seen;
+          key_codec::KeyEncoder enc;
+          for (const auto& row : sp.parts[p]) {
+            auto kv = enc.EncodeRow(row);
+            if (!kv.ok()) {
+              errs[p] = kv.status();
+              return;
+            }
+            auto it = seen.find(kv.value());
+            if (it == seen.end()) {
+              seen.emplace(key_codec::Materialize(kv.value()), 1);
+              ks.build_rows++;
+              if (ks.max_chain < 1) ks.max_chain = 1;
+              emit(row);
+            } else {
+              ks.probe_hits++;
+              if (++it->second > ks.max_chain) ks.max_chain = it->second;
+            }
+          }
+          ks.encode_bytes += enc.bytes_encoded();
+        } else {
+          std::unordered_map<KeyView, uint64_t, KeyViewHash, KeyViewEq> seen;
+          for (const auto& row : sp.parts[p]) {
+            auto [it, inserted] = seen.try_emplace(KeyView{row.fields}, 1);
+            if (inserted) {
+              ks.build_rows++;
+              if (ks.max_chain < 1) ks.max_chain = 1;
+              emit(row);
+            } else {
+              ks.probe_hits++;
+              if (++it->second > ks.max_chain) ks.max_chain = it->second;
+            }
           }
         }
         work.Add(p, sp.bytes[p] + out_bytes[p]);
@@ -820,8 +1108,12 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
         out.partitions[p].clear();
         out_bytes[p] = 0;
         work.Reset(p);
+        kmeter.Reset(p);
+        errs[p] = Status::OK();
       }));
+  TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
+  kmeter.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(all_cols));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -857,32 +1149,100 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
+  const bool use_codec = cluster->key_codec_enabled() &&
+                         KeyColsEncodable(left.schema, left_keys) &&
+                         KeyColsEncodable(right.schema, right_keys);
+  std::vector<Status> errs(nparts);
   auto cogroup_task = [&](size_t p) {
-    std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
-        built;
-    for (const auto& r : rsp.parts[p]) {
-      if (HasNullKey(r, right_keys)) continue;
+    key_codec::KeyStats& ks = kmeter.slot(p);
+    auto project_right = [&](const Row& r) {
       Row proj;
       proj.fields.reserve(right_value_cols.size());
       for (int c : right_value_cols) {
         proj.fields.push_back(r.fields[static_cast<size_t>(c)]);
       }
-      built[ExtractKey(r, right_keys)].push_back(std::move(proj));
-    }
-    for (const auto& l : lsp.parts[p]) {
+      return proj;
+    };
+    auto emit = [&](const Row& l, const std::vector<Row>* matches) {
       Row row = l;
-      auto it = HasNullKey(l, left_keys)
-                    ? built.end()
-                    : built.find(ExtractKey(l, left_keys));
-      if (it == built.end()) {
-        row.fields.push_back(Field::Bag(std::vector<Row>{}));
-      } else {
-        row.fields.push_back(Field::Bag(it->second));
-      }
+      row.fields.push_back(matches == nullptr ? Field::Bag(std::vector<Row>{})
+                                              : Field::Bag(*matches));
       uint64_t sz = RowDeepSize(row);
       work.Add(p, sz);
       out_bytes[p] += sz;
       out.partitions[p].push_back(std::move(row));
+    };
+    if (use_codec) {
+      std::unordered_map<key_codec::EncodedKey, std::vector<Row>,
+                         key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>
+          built;
+      key_codec::KeyEncoder enc;
+      for (const auto& r : rsp.parts[p]) {
+        if (HasNullKey(r, right_keys)) continue;
+        auto kv = enc.Encode(r, right_keys);
+        if (!kv.ok()) {
+          errs[p] = kv.status();
+          return;
+        }
+        auto it = built.find(kv.value());
+        if (it == built.end()) {
+          it = built.emplace(key_codec::Materialize(kv.value()),
+                             std::vector<Row>{})
+                   .first;
+          ks.build_rows++;
+        } else {
+          ks.probe_hits++;
+        }
+        it->second.push_back(project_right(r));
+        if (it->second.size() > ks.max_chain) {
+          ks.max_chain = it->second.size();
+        }
+      }
+      for (const auto& l : lsp.parts[p]) {
+        const std::vector<Row>* matches = nullptr;
+        if (!HasNullKey(l, left_keys)) {
+          auto kv = enc.Encode(l, left_keys);
+          if (!kv.ok()) {
+            errs[p] = kv.status();
+            return;
+          }
+          auto it = built.find(kv.value());
+          if (it != built.end()) {
+            ks.probe_hits++;
+            matches = &it->second;
+          }
+        }
+        emit(l, matches);
+      }
+      ks.encode_bytes += enc.bytes_encoded();
+    } else {
+      std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
+          built;
+      for (const auto& r : rsp.parts[p]) {
+        if (HasNullKey(r, right_keys)) continue;
+        auto [it, inserted] = built.try_emplace(ExtractKey(r, right_keys));
+        if (inserted) {
+          ks.build_rows++;
+        } else {
+          ks.probe_hits++;
+        }
+        it->second.push_back(project_right(r));
+        if (it->second.size() > ks.max_chain) {
+          ks.max_chain = it->second.size();
+        }
+      }
+      for (const auto& l : lsp.parts[p]) {
+        const std::vector<Row>* matches = nullptr;
+        if (!HasNullKey(l, left_keys)) {
+          auto it = built.find(ExtractKey(l, left_keys));
+          if (it != built.end()) {
+            ks.probe_hits++;
+            matches = &it->second;
+          }
+        }
+        emit(l, matches);
+      }
     }
     work.Add(p, lsp.bytes[p] + rsp.bytes[p]);
   };
@@ -891,8 +1251,12 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
         out.partitions[p].clear();
         out_bytes[p] = 0;
         work.Reset(p);
+        kmeter.Reset(p);
+        errs[p] = Status::OK();
       }));
+  TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
+  kmeter.Finalize(&stage);
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));

@@ -72,6 +72,14 @@ struct StageStats {
   /// transforms (rows emitted by every non-final transform); 0 for unfused
   /// stages.
   uint64_t intermediate_bytes_avoided = 0;
+  /// Keyed-operator telemetry (join build/probe, cogroup, nest, reduce,
+  /// dedup, heavy-key sampling). build/probe/chain are data-determined and
+  /// identical with the key codec on or off; key_encode_bytes is the bytes
+  /// of binary keys the codec produced (0 on the legacy KeyView path).
+  uint64_t key_encode_bytes = 0;  // encoded key bytes produced this stage
+  uint64_t hash_build_rows = 0;   // rows inserted into keyed hash structures
+  uint64_t hash_probe_hits = 0;   // lookups that found an existing key
+  uint64_t hash_max_chain = 0;    // max input rows mapped to a single key
   /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
   /// when the injector is disabled). Every non-recovery field above is
   /// bit-identical between a fault-free run and a run whose injected faults
@@ -128,6 +136,10 @@ class JobStats {
     injected_faults_ += s.injected_faults;
     retries_ += s.retries;
     recovery_sim_seconds_ += s.recovery_sim_seconds;
+    key_encode_bytes_ += s.key_encode_bytes;
+    hash_build_rows_ += s.hash_build_rows;
+    hash_probe_hits_ += s.hash_probe_hits;
+    if (s.hash_max_chain > hash_max_chain_) hash_max_chain_ = s.hash_max_chain;
     stages_.push_back(std::move(s));
   }
 
@@ -154,6 +166,14 @@ class JobStats {
   /// Total simulated recovery time (backoff + discarded attempts); reported
   /// separately from sim_seconds() so base stats stay fault-invariant.
   double recovery_sim_seconds() const { return recovery_sim_seconds_; }
+  /// Bytes of binary keys the key codec produced (0 when the codec is off).
+  uint64_t key_encode_bytes() const { return key_encode_bytes_; }
+  /// Rows inserted into keyed hash structures across all stages.
+  uint64_t hash_build_rows() const { return hash_build_rows_; }
+  /// Keyed lookups that found an existing key across all stages.
+  uint64_t hash_probe_hits() const { return hash_probe_hits_; }
+  /// Worst per-key chain (max over stages of the stage's longest chain).
+  uint64_t hash_max_chain() const { return hash_max_chain_; }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -169,6 +189,10 @@ class JobStats {
     injected_faults_ = 0;
     retries_ = 0;
     recovery_sim_seconds_ = 0;
+    key_encode_bytes_ = 0;
+    hash_build_rows_ = 0;
+    hash_probe_hits_ = 0;
+    hash_max_chain_ = 0;
   }
 
   std::string ToString() const;
@@ -184,6 +208,10 @@ class JobStats {
   uint64_t injected_faults_ = 0;
   uint64_t retries_ = 0;
   double recovery_sim_seconds_ = 0;
+  uint64_t key_encode_bytes_ = 0;
+  uint64_t hash_build_rows_ = 0;
+  uint64_t hash_probe_hits_ = 0;
+  uint64_t hash_max_chain_ = 0;
 };
 
 }  // namespace runtime

@@ -16,6 +16,22 @@ using runtime::Partitioning;
 using runtime::Row;
 using runtime::StageStats;
 
+namespace key_codec = runtime::key_codec;
+
+bool HeavyKeySet::IsHeavy(const Row& row, const std::vector<int>& cols) const {
+  if (use_codec) {
+    if (encoded.empty()) return false;
+    // Reusable thread-local scratch buffer: membership tests allocate
+    // nothing (the historical path built a KeyView deep copy per probe).
+    thread_local key_codec::KeyEncoder scratch;
+    auto kv = scratch.Encode(row, cols);
+    // A key that cannot encode (bag-typed) was never sampled into the set.
+    if (!kv.ok()) return false;
+    return encoded.find(kv.value()) != encoded.end();
+  }
+  return keys.count(runtime::ExtractKey(row, cols)) > 0;
+}
+
 SkewTriple SkewTriple::AllLight(Dataset ds) {
   SkewTriple t;
   t.heavy.schema = ds.schema;
@@ -31,11 +47,27 @@ StatusOr<Dataset> MergeTriple(Cluster* cluster, const SkewTriple& t,
   return runtime::UnionAll(cluster, t.light, t.heavy, name + ".merge");
 }
 
+namespace {
+
+/// Static codec gate, mirroring the keyed operators: key columns statically
+/// typed as bags keep the legacy KeyView storage.
+bool KeyColsEncodable(const runtime::Schema& s, const std::vector<int>& cols) {
+  for (int c : cols) {
+    const auto& t = s.col(static_cast<size_t>(c)).type;
+    if (t != nullptr && t->is_bag()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
                             std::vector<int> key_cols) {
   const auto& cfg = cluster->config();
   HeavyKeySet out;
   out.key_cols = key_cols;
+  out.use_codec =
+      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
   // Deterministic pseudo-random sampling (hash-selected positions; a fixed
   // stride would alias with cyclic key layouts).
   uint64_t stride = cfg.skew_sample_rate <= 0
@@ -44,8 +76,16 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   if (stride == 0) stride = 1;
   StageStats stage;
   stage.op = "heavy_keys";
+  key_codec::KeyStats ks;
+  key_codec::KeyEncoder enc;  // encodes once per sampled row
   for (size_t p = 0; p < in.partitions.size(); ++p) {
     const auto& part = in.partitions[p];
+    // Per-partition sample frequencies. The count-map maintenance is
+    // identical in both modes (key identity coincides), so the heavy set —
+    // and the build/probe/chain telemetry — are codec-invariant.
+    std::unordered_map<key_codec::EncodedKey, size_t,
+                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>
+        enc_counts;
     std::unordered_map<KeyView, size_t, runtime::KeyViewHash,
                        runtime::KeyViewEq>
         counts;
@@ -55,14 +95,40 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
           0) {
         continue;
       }
-      ++counts[runtime::ExtractKey(part[i], key_cols)];
       ++sampled;
       stage.rows_in++;
+      size_t c;
+      if (out.use_codec) {
+        auto kv = enc.Encode(part[i], key_cols);
+        if (!kv.ok()) continue;  // unencodable key: never a heavy candidate
+        auto it = enc_counts.find(kv.value());
+        if (it == enc_counts.end()) {
+          it = enc_counts.emplace(key_codec::Materialize(kv.value()), 0)
+                   .first;
+          ks.build_rows++;
+        } else {
+          ks.probe_hits++;
+        }
+        c = ++it->second;
+      } else {
+        auto [it, inserted] =
+            counts.try_emplace(runtime::ExtractKey(part[i], key_cols), 0);
+        if (inserted) {
+          ks.build_rows++;
+        } else {
+          ks.probe_hits++;
+        }
+        c = ++it->second;
+      }
+      if (c > ks.max_chain) ks.max_chain = c;
     }
     if (sampled == 0) continue;
     size_t cutoff = static_cast<size_t>(
         cfg.heavy_key_threshold * static_cast<double>(sampled));
     if (cutoff < 2) cutoff = 2;
+    for (auto& [k, c] : enc_counts) {
+      if (c >= cutoff) out.encoded.insert(k);
+    }
     for (const auto& [k, c] : counts) {
       if (c >= cutoff) out.keys.insert(k);
     }
@@ -70,9 +136,14 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   // The sampling pass is cheap but not free; account a small stage. The
   // heavy-key set itself is tiny (<= 100/threshold keys per partition) and is
   // broadcast to all workers.
+  ks.encode_bytes = enc.bytes_encoded();
+  stage.key_encode_bytes = ks.encode_bytes;
+  stage.hash_build_rows = ks.build_rows;
+  stage.hash_probe_hits = ks.probe_hits;
+  stage.hash_max_chain = ks.max_chain;
   stage.shuffle_bytes =
-      out.keys.size() * 16 * static_cast<uint64_t>(cluster->num_partitions());
-  stage.heavy_key_count = out.keys.size();
+      out.size() * 16 * static_cast<uint64_t>(cluster->num_partitions());
+  stage.heavy_key_count = out.size();
   stage.movement = runtime::DataMovement::kBroadcast;
   cluster->RecordStage(std::move(stage));
   return out;
@@ -97,7 +168,7 @@ StatusOr<SkewTriple> SplitByHeavyKeys(Cluster* cluster, const Dataset& in,
   for (size_t p = 0; p < in.partitions.size(); ++p) {
     for (const auto& row : in.partitions[p]) {
       ++stage.rows_in;
-      if (!hk.empty() && hk.Contains(row, key_cols)) {
+      if (!hk.empty() && hk.IsHeavy(row, key_cols)) {
         out.heavy.partitions[p].push_back(row);
       } else {
         out.light.partitions[p].push_back(row);
@@ -105,7 +176,7 @@ StatusOr<SkewTriple> SplitByHeavyKeys(Cluster* cluster, const Dataset& in,
     }
   }
   stage.rows_out = stage.rows_in;
-  stage.heavy_key_count = hk.keys.size();
+  stage.heavy_key_count = hk.size();
   cluster->RecordStage(std::move(stage));
   hk.key_cols = std::move(key_cols);
   out.heavy_keys = std::move(hk);
@@ -131,11 +202,11 @@ StatusOr<SkewTriple> SkewAwareJoin(Cluster* cluster, const SkewTriple& left,
   }
   const HeavyKeySet& hk = *x.heavy_keys;
 
-  // Y_L = Y.filter(!hk(g(y))); Y_H = Y.filter(hk(g(y))).
+  // Y_L = Y.filter(!hk(g(y))); Y_H = Y.filter(hk(g(y))). The copy keeps the
+  // set's storage mode along with its keys.
   TRANCE_ASSIGN_OR_RETURN(Dataset y, MergeTriple(cluster, right, name + ".rhs"));
-  HeavyKeySet rhk;
+  HeavyKeySet rhk = hk;
   rhk.key_cols = right_keys;
-  rhk.keys = hk.keys;
   TRANCE_ASSIGN_OR_RETURN(
       SkewTriple ysplit,
       SplitByHeavyKeys(cluster, y, right_keys, std::move(rhk), name + ".rhs"));
@@ -152,9 +223,8 @@ StatusOr<SkewTriple> SkewAwareJoin(Cluster* cluster, const SkewTriple& left,
   out.light = std::move(light);
   out.heavy = std::move(heavy);
   // Key columns keep their positions (left columns lead the join output).
-  HeavyKeySet out_hk;
+  HeavyKeySet out_hk = hk;
   out_hk.key_cols = left_keys;
-  out_hk.keys = hk.keys;
   out.heavy_keys = std::move(out_hk);
   return out;
 }

@@ -23,6 +23,7 @@
 
 #include "runtime/cluster.h"
 #include "runtime/dataset.h"
+#include "runtime/key_codec.h"
 #include "runtime/ops.h"
 #include "util/status.h"
 
@@ -30,17 +31,31 @@ namespace trance {
 namespace skew {
 
 /// The set of heavy keys of a dataset with respect to some key columns.
+/// Dual storage: with the key codec enabled at detection time the set holds
+/// compact binary keys and IsHeavy probes via a reusable thread-local
+/// scratch encoder (no allocation per probed row); the legacy mode keeps
+/// the historical KeyView set (whose Contains path deep-copies the key per
+/// probe). Membership decisions are identical in both modes.
 struct HeavyKeySet {
   std::vector<int> key_cols;
+  /// Storage mode, fixed at detection time from the cluster's codec flag so
+  /// every later probe and copy uses one representation.
+  bool use_codec = false;
+  std::unordered_set<runtime::key_codec::EncodedKey,
+                     runtime::key_codec::EncodedKeyHash,
+                     runtime::key_codec::EncodedKeyEq>
+      encoded;
   std::unordered_set<runtime::KeyView, runtime::KeyViewHash,
                      runtime::KeyViewEq>
-      keys;
+      keys;  // legacy storage (use_codec == false)
 
-  bool Contains(const runtime::Row& row,
-                const std::vector<int>& cols) const {
-    return keys.count(runtime::ExtractKey(row, cols)) > 0;
+  /// True when the row's projected key is in the heavy set.
+  bool IsHeavy(const runtime::Row& row, const std::vector<int>& cols) const;
+  bool Contains(const runtime::Row& row, const std::vector<int>& cols) const {
+    return IsHeavy(row, cols);
   }
-  bool empty() const { return keys.empty(); }
+  bool empty() const { return use_codec ? encoded.empty() : keys.empty(); }
+  size_t size() const { return use_codec ? encoded.size() : keys.size(); }
 };
 
 /// A dataset split into light and heavy components. `heavy_keys` is the key

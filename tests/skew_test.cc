@@ -42,8 +42,9 @@ TEST(SkewTest, DetectsDominantKey) {
   Cluster cluster(ClusterConfig{.num_partitions = 4});
   Dataset ds = Skewed(&cluster, 900, 50);
   HeavyKeySet hk = DetectHeavyKeys(&cluster, ds, {0});
-  ASSERT_EQ(hk.keys.size(), 1u);
-  EXPECT_EQ(hk.keys.begin()->fields[0].AsInt(), 7);
+  ASSERT_EQ(hk.size(), 1u);
+  EXPECT_TRUE(hk.IsHeavy(Row({Field::Int(7), Field::Int(0)}), {0}));
+  EXPECT_FALSE(hk.IsHeavy(Row({Field::Int(100), Field::Int(0)}), {0}));
 }
 
 TEST(SkewTest, UniformDataHasNoHeavyKeys) {
@@ -55,7 +56,7 @@ TEST(SkewTest, UniformDataHasNoHeavyKeys) {
   auto ds =
       runtime::Source(&cluster, KvSchema(), std::move(rows), "u").ValueOrDie();
   HeavyKeySet hk = DetectHeavyKeys(&cluster, ds, {0});
-  EXPECT_TRUE(hk.keys.empty());
+  EXPECT_TRUE(hk.empty());
 }
 
 TEST(SkewTest, ThresholdBoundsHeavyKeyCount) {
@@ -73,7 +74,41 @@ TEST(SkewTest, ThresholdBoundsHeavyKeyCount) {
   auto ds =
       runtime::Source(&cluster, KvSchema(), std::move(rows), "b").ValueOrDie();
   HeavyKeySet hk = DetectHeavyKeys(&cluster, ds, {0});
-  EXPECT_LE(hk.keys.size(), 10u);  // 1 / 0.10
+  EXPECT_LE(hk.size(), 10u);  // 1 / 0.10
+}
+
+TEST(SkewTest, EncodedAndLegacySamplingAgree) {
+  // Heavy-key detection is codec-invariant: the same hash-selected sample
+  // produces the same heavy set (count and membership) whether frequencies
+  // are keyed by encoded keys or legacy KeyView copies, and the sampling
+  // stage's telemetry — including the keyed hash-table counters — matches;
+  // only key_encode_bytes distinguishes the modes.
+  ClusterConfig cfg{.num_partitions = 4};
+  auto detect = [&](bool codec) {
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(codec);
+    Dataset ds = Skewed(&cluster, 900, 50);
+    cluster.stats().Reset();
+    HeavyKeySet hk = DetectHeavyKeys(&cluster, ds, {0});
+    return std::make_pair(std::move(hk), cluster.stats().stages().back());
+  };
+  auto [enc, enc_stage] = detect(true);
+  auto [leg, leg_stage] = detect(false);
+  EXPECT_TRUE(enc.use_codec);
+  EXPECT_FALSE(leg.use_codec);
+  EXPECT_EQ(enc.size(), leg.size());
+  for (int64_t k : {int64_t{7}, int64_t{100}, int64_t{101}, int64_t{149}}) {
+    Row probe({Field::Int(k), Field::Int(0)});
+    EXPECT_EQ(enc.IsHeavy(probe, {0}), leg.IsHeavy(probe, {0})) << "key " << k;
+  }
+  EXPECT_EQ(enc_stage.rows_in, leg_stage.rows_in);
+  EXPECT_EQ(enc_stage.heavy_key_count, leg_stage.heavy_key_count);
+  EXPECT_EQ(enc_stage.shuffle_bytes, leg_stage.shuffle_bytes);
+  EXPECT_EQ(enc_stage.hash_build_rows, leg_stage.hash_build_rows);
+  EXPECT_EQ(enc_stage.hash_probe_hits, leg_stage.hash_probe_hits);
+  EXPECT_EQ(enc_stage.hash_max_chain, leg_stage.hash_max_chain);
+  EXPECT_GT(enc_stage.key_encode_bytes, 0u);
+  EXPECT_EQ(leg_stage.key_encode_bytes, 0u);
 }
 
 TEST(SkewTest, SplitPartitionsRowsExactly) {
