@@ -96,6 +96,7 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.name = name;
   r.num_threads = cluster->num_threads();
   cluster->stats().Reset();
+  cluster->metrics().Reset();
   obs::Tracer* tracer = &obs::Tracer::Global();
   Status st;
   {
@@ -119,6 +120,7 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.hash_probe_hits = stats.hash_probe_hits();
   r.hash_max_chain = stats.hash_max_chain();
   r.stats = stats;
+  r.metrics = cluster->metrics().Snapshot();
   r.ok = st.ok();
   if (!st.ok()) r.fail_reason = st.ToString();
   obs::AppendJobStagesToTrace(stats, tracer, name);
@@ -155,6 +157,8 @@ std::string Ratio(const RunResult& num, const RunResult& den,
 void EnableBenchObservability() {
   obs::Tracer::Global().set_enabled(true);
   obs::Tracer::Global().Clear();
+  obs::GlobalEventLog().Enable(true);
+  obs::GlobalEventLog().Clear();
 }
 
 namespace {
@@ -235,6 +239,10 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.out_rows);
     w.Key("job");
     obs::WriteJobStats(r.stats, &w);
+    // Generic registry dump: one loop, any registered metric — the bench
+    // report never needs a per-metric edit.
+    w.Key("metrics");
+    obs::MetricRegistry::WriteSamplesJson(r.metrics, &w);
     w.EndObject();
   }
   w.EndArray();

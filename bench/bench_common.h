@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exec/pipeline.h"
+#include "obs/metrics.h"
 #include "runtime/cluster.h"
 #include "tpch/generator.h"
 
@@ -59,6 +60,11 @@ struct RunResult {
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.
   runtime::JobStats stats;
+  /// Snapshot of the cluster's metric registry at the end of the run.
+  /// Serialized generically into the report's per-run `metrics` object, so
+  /// a metric registered anywhere in the runtime appears in BENCH_*.json
+  /// with no bench-side edits.
+  std::vector<obs::MetricSample> metrics;
 };
 
 /// The evaluation strategies of Section 6.

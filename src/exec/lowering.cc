@@ -120,15 +120,46 @@ StatusOr<Dataset> Executor::ExecuteToDataset(const plan::PlanPtr& p) {
 
 StatusOr<std::string> Executor::ExecuteProgram(
     const plan::PlanProgram& program) {
+  // One program execution is one "job" for telemetry: every event the
+  // stages below emit carries this id, so an event-log consumer can slice
+  // the log per query exactly like EXPLAIN ANALYZE does.
+  const uint64_t job = cluster_->BeginJob();
+  const size_t stages_before = cluster_->stats().stages().size();
+  obs::EventLog& log = obs::GlobalEventLog();
+  if (log.enabled()) {
+    obs::Event(&log, "job_start")
+        .U64("job", job)
+        .U64("assignments", program.assignments.size())
+        .Emit();
+  }
+  cluster_->metrics()
+      .GetCounter("trance_jobs_total", "plan programs executed")
+      ->Increment();
+  auto finish = [&](const char* status) {
+    if (!log.enabled()) return;
+    obs::Event(&log, "job_finish")
+        .U64("job", job)
+        .U64("stages", cluster_->stats().stages().size() - stages_before)
+        .Str("status", status)
+        .Emit();
+  };
   std::string last;
   for (const auto& a : program.assignments) {
     scope_var_ = a.var;
     next_node_id_ = 0;
-    TRANCE_ASSIGN_OR_RETURN(SkewTriple t, Exec(a.plan));
-    registry_[a.var] = std::move(t);
+    StatusOr<SkewTriple> t = Exec(a.plan);
+    if (!t.ok()) {
+      finish("error");
+      return t.status();
+    }
+    registry_[a.var] = std::move(t).value();
     last = a.var;
   }
-  if (last.empty()) return Status::Invalid("program has no assignments");
+  if (last.empty()) {
+    finish("error");
+    return Status::Invalid("program has no assignments");
+  }
+  finish("ok");
   return last;
 }
 

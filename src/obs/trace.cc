@@ -26,11 +26,14 @@ void Tracer::AddCompleteEvent(TraceEvent ev) {
 }
 
 std::string Tracer::ToChromeTraceJson() const {
+  // Serialize from a snapshot: spans may still be closing (and appending to
+  // events_) on pool workers while an export runs.
+  const std::vector<TraceEvent> snapshot = events();
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents");
   w.BeginArray();
-  for (const auto& e : events_) {
+  for (const auto& e : snapshot) {
     w.BeginObject();
     w.Key("name");
     w.String(e.name);

@@ -47,9 +47,12 @@ class Tracer {
   /// Records a finished event (no-op when disabled).
   void AddCompleteEvent(TraceEvent ev);
 
-  /// Recorded events. Only safe to read when no spans are in flight (i.e.
-  /// between queries / at stage barriers), which is where all callers read.
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Snapshot of the recorded events (copied under the lock, so safe to
+  /// call while spans are still closing on worker threads).
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
 
   /// Serializes all recorded events as a Chrome trace_event JSON document
   /// ({"traceEvents": [...], ...}).

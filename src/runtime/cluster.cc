@@ -38,7 +38,96 @@ void Cluster::RecordStage(StageStats s) {
   if (s.wall_start_us > now_us) s.wall_start_us = now_us;
   s.wall_dur_us = now_us - s.wall_start_us;
   last_stage_end_us_ = now_us;
+  PublishStage(stats_.stages().size(), s);
   stats_.AddStage(std::move(s));
+}
+
+void Cluster::PublishStage(size_t stage_index, const StageStats& s) {
+  // Registry half: every JobStats total the stage contributes also lands in
+  // the metric registry, from this one site. Integer quantities are
+  // counters; maxima are SetMax gauges; accumulated sim-time is an Add
+  // gauge (driver-sequential here, so the floating-point order — and hence
+  // the value — is deterministic).
+  metrics_
+      .GetCounter("trance_stages_total", "stages recorded, by data movement",
+                  {{"movement", DataMovementName(s.movement)}})
+      ->Increment();
+  metrics_.GetCounter("trance_rows_in_total", "rows consumed by stages")
+      ->Add(s.rows_in);
+  metrics_.GetCounter("trance_rows_out_total", "rows produced by stages")
+      ->Add(s.rows_out);
+  metrics_
+      .GetCounter("trance_shuffle_bytes_total",
+                  "bytes moved between partitions")
+      ->Add(s.shuffle_bytes);
+  metrics_.GetCounter("trance_work_bytes_total", "bytes processed by workers")
+      ->Add(s.total_work_bytes);
+  metrics_
+      .GetCounter("trance_heavy_keys_total", "keys flagged by the skew sampler")
+      ->Add(s.heavy_key_count);
+  metrics_
+      .GetCounter("trance_key_encode_bytes_total",
+                  "binary key bytes produced by the key codec")
+      ->Add(s.key_encode_bytes);
+  metrics_
+      .GetCounter("trance_hash_build_rows_total",
+                  "rows inserted into keyed hash structures")
+      ->Add(s.hash_build_rows);
+  metrics_
+      .GetCounter("trance_hash_probe_hits_total",
+                  "keyed lookups that found an existing key")
+      ->Add(s.hash_probe_hits);
+  metrics_
+      .GetGauge("trance_hash_max_chain",
+                "max input rows mapped to a single key")
+      ->SetMax(static_cast<double>(s.hash_max_chain));
+  metrics_
+      .GetGauge("trance_max_stage_shuffle_bytes",
+                "largest single-stage shuffle")
+      ->SetMax(static_cast<double>(s.shuffle_bytes));
+  metrics_
+      .GetGauge("trance_mem_high_water_bytes",
+                "largest stage-output partition footprint")
+      ->SetMax(static_cast<double>(s.mem_high_water_bytes));
+  metrics_
+      .GetGauge("trance_sim_seconds_total", "accumulated simulated job time")
+      ->Add(s.sim_seconds);
+  metrics_
+      .GetGauge("trance_recovery_sim_seconds_total",
+                "accumulated simulated recovery time")
+      ->Add(s.recovery_sim_seconds);
+  metrics_
+      .GetHistogram("trance_stage_imbalance",
+                    "per-stage straggler factor (max/mean worker load)",
+                    {1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0})
+      ->Observe(s.ImbalanceFactor());
+
+  // Event-log half: one stage_finish per stage; heavy-key decisions get
+  // their own event so skew handling is visible without parsing stages.
+  obs::EventLog& log = obs::GlobalEventLog();
+  if (!log.enabled()) return;
+  obs::Event(&log, "stage_finish")
+      .U64("job", job_id_)
+      .U64("stage", stage_index)
+      .Str("op", s.op)
+      .Str("scope", s.scope)
+      .Str("movement", DataMovementName(s.movement))
+      .U64("rows_in", s.rows_in)
+      .U64("rows_out", s.rows_out)
+      .U64("shuffle_bytes", s.shuffle_bytes)
+      .U64("injected_faults", s.injected_faults)
+      .F64("sim_seconds", s.sim_seconds)
+      .Wall("dur_us", s.wall_dur_us)
+      .Emit();
+  if (s.heavy_key_count > 0) {
+    obs::Event(&log, "heavy_keys")
+        .U64("job", job_id_)
+        .U64("stage", stage_index)
+        .Str("op", s.op)
+        .Str("scope", s.scope)
+        .U64("count", s.heavy_key_count)
+        .Emit();
+  }
 }
 
 Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
@@ -48,20 +137,51 @@ Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
 Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
                                  const std::string& op) {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t peak = 0;
+  // Publishes the check's outcome into the registry and event log; shared by
+  // the pass and fail exits so every check is visible either way.
+  auto publish = [&](bool ok) {
+    metrics_
+        .GetCounter("trance_memory_checks_total", "per-stage memory-cap checks")
+        ->Increment();
+    if (!ok) {
+      metrics_
+          .GetCounter("trance_memory_check_failures_total",
+                      "memory-cap checks that exceeded the cap")
+          ->Increment();
+    }
+    metrics_
+        .GetGauge("trance_peak_partition_bytes",
+                  "largest partition footprint seen by memory checks")
+        ->SetMax(static_cast<double>(peak));
+    obs::EventLog& log = obs::GlobalEventLog();
+    if (!log.enabled()) return;
+    obs::Event(&log, "memory_check")
+        .U64("job", job_id_)
+        .Str("op", op)
+        .U64("partitions", partition_bytes.size())
+        .U64("peak_bytes", peak)
+        .U64("cap_bytes", config_.partition_memory_cap)
+        .Bool("ok", ok)
+        .Emit();
+  };
   for (size_t p = 0; p < partition_bytes.size(); ++p) {
     uint64_t b = partition_bytes[p];
     stats_.NotePeakPartitionBytes(b);
+    if (b > peak) peak = b;
     if (b > config_.partition_memory_cap) {
       // Name the stage, the plan-node scope and the partition so EXPLAIN
       // ANALYZE readers and test failures can attribute the saturation.
       std::string where = "stage '" + op + "'";
       if (!scope_stack_.empty()) where += " (scope " + scope_stack_.back() + ")";
+      publish(false);
       return Status::ResourceExhausted(
           "worker memory saturated in " + where + ": partition " +
           std::to_string(p) + " holds " + FormatBytes(b) + " > cap " +
           FormatBytes(config_.partition_memory_cap));
     }
   }
+  publish(true);
   return Status::OK();
 }
 
@@ -100,6 +220,9 @@ Status Cluster::RunRecoverableTasks(const std::string& stage_name, size_t n,
       }
     }
   });
+  // Driver-side merge in slot order: stats, metrics and events all come out
+  // thread-count-invariant because nothing here depends on worker timing.
+  obs::EventLog& log = obs::GlobalEventLog();
   uint64_t total = 0;
   for (size_t p = 0; p < n; ++p) {
     if (faults[p].empty()) continue;
@@ -111,6 +234,26 @@ Status Cluster::RunRecoverableTasks(const std::string& stage_name, size_t n,
     for (size_t a = 0; a < faults[p].size(); ++a) {
       stage->fault_events.push_back({static_cast<uint32_t>(p),
                                      static_cast<uint32_t>(a), faults[p][a]});
+      PublishFaultInjected(&metrics_, faults[p][a]);
+      if (log.enabled()) {
+        obs::Event(&log, "fault")
+            .U64("job", job_id_)
+            .U64("stage_seq", stage_seq)
+            .U64("partition", p)
+            .U64("attempt", a)
+            .Str("kind", FaultKindName(faults[p][a]))
+            .Emit();
+        if (static_cast<int>(a) < budget) {
+          obs::Event(&log, "retry")
+              .U64("job", job_id_)
+              .U64("stage_seq", stage_seq)
+              .U64("partition", p)
+              .U64("attempt", a + 1)
+              .F64("backoff_sim_seconds",
+                   injector_.BackoffSeconds(static_cast<int>(a)))
+              .Emit();
+        }
+      }
     }
   }
   stage->injected_faults += total;
@@ -125,6 +268,10 @@ Status Cluster::RunRecoverableTasks(const std::string& stage_name, size_t n,
         ", retry budget " + std::to_string(budget) + ")");
   }
   stage->retries += total;  // every injected fault was followed by a retry
+  metrics_
+      .GetCounter("trance_task_retries_total",
+                  "task re-executions performed by fault recovery")
+      ->Add(total);
   return Status::OK();
 }
 

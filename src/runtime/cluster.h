@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "runtime/dataset.h"
 #include "runtime/fault.h"
 #include "runtime/key_codec.h"
@@ -73,6 +75,22 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   JobStats& stats() { return stats_; }
   const JobStats& stats() const { return stats_; }
+
+  /// Per-cluster metric registry. Stage recording, memory checks and fault
+  /// recovery publish into it alongside (never instead of) JobStats, so a
+  /// metric registered here shows up in every exposition surface without
+  /// further plumbing (see src/obs/metrics.h). Always on — updates are
+  /// sharded atomics, cheap enough to leave unconditional.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// Starts a new job (one executed program): bumps the id that tags every
+  /// event this cluster emits. Per-cluster — not process-global — so the id
+  /// sequence of a workload is deterministic no matter what else ran in the
+  /// process. Returns the new id (first job is 1; 0 means "outside any
+  /// job"). Driver-side only.
+  uint64_t BeginJob() { return ++job_id_; }
+  uint64_t current_job_id() const { return job_id_; }
 
   int num_partitions() const { return config_.num_partitions; }
   /// Resolved thread budget (config.num_threads, TRANCE_THREADS, or
@@ -177,10 +195,18 @@ class Cluster {
   }
 
  private:
+  /// Publishes one finished stage into metrics_ and the event log; called
+  /// from RecordStage under mu_ (driver-sequential, so event order is
+  /// thread-count-invariant).
+  void PublishStage(size_t stage_index, const StageStats& s);
+
   ClusterConfig config_;
   int num_threads_;
   bool key_codec_enabled_ = true;
   FaultInjector injector_;
+  obs::MetricRegistry metrics_;
+  /// Event-log job tag; mutated by BeginJob from the driver only.
+  uint64_t job_id_ = 0;
   /// Driver-side stage sequence number feeding the fault injector. Stages
   /// start sequentially from the driver, so the sequence is deterministic
   /// for a given query + config regardless of thread count.

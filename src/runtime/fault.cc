@@ -1,9 +1,18 @@
 #include "runtime/fault.h"
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 
 namespace trance {
 namespace runtime {
+
+void PublishFaultInjected(obs::MetricRegistry* metrics, FaultKind kind) {
+  metrics
+      ->GetCounter("trance_faults_injected_total",
+                   "faults injected by the seeded injector, by kind",
+                   {{"kind", FaultKindName(kind)}})
+      ->Increment();
+}
 
 const char* FaultKindName(FaultKind k) {
   switch (k) {

@@ -137,6 +137,7 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
     std::vector<uint64_t> bytes;         // [target] all routed bytes
     std::vector<uint64_t> moved;         // [target] bytes that changed partition
     uint64_t sent = 0;                   // total bytes leaving this partition
+    uint64_t moved_rows = 0;             // rows that changed partition
   };
   std::vector<SourceBuckets> buckets(in_n);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
@@ -156,6 +157,7 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
           if (target != p) {
             b.moved[target] += sz;
             b.sent += sz;
+            ++b.moved_rows;
           }
           b.rows[target].push_back(row);
         }
@@ -164,9 +166,13 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
 
   std::vector<uint64_t> recv(n, 0);
   std::vector<uint64_t> send(std::max(in_n, n), 0);
+  uint64_t moved_rows = 0;
+  uint64_t moved_bytes = 0;
   for (size_t p = 0; p < in_n; ++p) {
     send[p] = buckets[p].sent;
     stage->shuffle_bytes += buckets[p].sent;
+    moved_rows += buckets[p].moved_rows;
+    moved_bytes += buckets[p].sent;
     for (size_t t = 0; t < n; ++t) recv[t] += buckets[p].moved[t];
   }
 
@@ -197,6 +203,23 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
   stage->movement = DataMovement::kShuffle;
   AccumulateHistogram(&stage->partition_recv_bytes, recv);
   AccumulateHistogram(&stage->partition_send_bytes, send);
+  // Driver-side (post-barrier) publication of what this shuffle moved; the
+  // bytes also reach the registry via RecordStage, rows only exist here.
+  cluster->metrics()
+      .GetCounter("trance_shuffle_rows_total",
+                  "rows that changed partition in shuffles")
+      ->Add(moved_rows);
+  obs::EventLog& log = obs::GlobalEventLog();
+  if (log.enabled()) {
+    obs::Event(&log, "shuffle")
+        .U64("job", cluster->current_job_id())
+        .Str("op", stage->op)
+        .Str("movement", "shuffle")
+        .U64("rows_moved", moved_rows)
+        .U64("bytes", moved_bytes)
+        .U64("partitions", n)
+        .Emit();
+  }
   return out;
 }
 
@@ -502,6 +525,23 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   stage.max_partition_recv_bytes =
       std::max(stage.max_partition_recv_bytes, bcast_bytes);
   stage.movement = DataMovement::kBroadcast;
+  cluster->metrics()
+      .GetCounter("trance_broadcast_bytes_total",
+                  "bytes replicated to every partition by broadcasts")
+      ->Add(bcast_bytes * n);
+  {
+    obs::EventLog& log = obs::GlobalEventLog();
+    if (log.enabled()) {
+      obs::Event(&log, "shuffle")
+          .U64("job", cluster->current_job_id())
+          .Str("op", name)
+          .Str("movement", "broadcast")
+          .U64("rows_moved", static_cast<uint64_t>(bcast.size()) * n)
+          .U64("bytes", bcast_bytes * n)
+          .U64("partitions", n)
+          .Emit();
+    }
+  }
   // Every partition receives the full broadcast; each source partition sends
   // its resident right-side rows to all n partitions.
   AccumulateHistogram(&stage.partition_recv_bytes,

@@ -3,10 +3,12 @@
 // job-wide straggler summary, and the splitmix64 partitioner.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/pipeline.h"
@@ -47,11 +49,13 @@ TEST(TracerTest, SpanNestingAndOrdering) {
       second.AddArg("rows", "42");
     }
   }
-  // Spans record on destruction: children before their parent.
-  ASSERT_EQ(tracer.events().size(), 3u);
-  const auto& first = tracer.events()[0];
-  const auto& second = tracer.events()[1];
-  const auto& outer = tracer.events()[2];
+  // Spans record on destruction: children before their parent. events()
+  // returns a snapshot copy, so hold it in a local.
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  const auto& first = events[0];
+  const auto& second = events[1];
+  const auto& outer = events[2];
   EXPECT_EQ(first.name, "first");
   EXPECT_EQ(second.name, "second");
   EXPECT_EQ(outer.name, "outer");
@@ -78,8 +82,35 @@ TEST(TracerTest, ClearResetsDepth) {
   tracer.Clear();
   EXPECT_TRUE(tracer.events().empty());
   { obs::Tracer::Span s(&tracer, "b"); }
-  ASSERT_EQ(tracer.events().size(), 1u);
-  EXPECT_EQ(tracer.events()[0].depth, 0);
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].depth, 0);
+}
+
+TEST(TracerTest, ConcurrentSpansAndExport) {
+  // Regression test for the ToChromeTraceJson data race: exports must
+  // snapshot under the lock while spans keep closing on other threads.
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  std::atomic<bool> stop{false};
+  // Both sides are bounded: an unbounded spanner loop grows events_ while
+  // every export reserializes the whole vector — quadratic wall time on a
+  // small machine.
+  std::thread spanner([&] {
+    for (int i = 0; i < 5000 && !stop.load(); ++i) {
+      obs::Tracer::Span s(&tracer, "work");
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    std::string doc = tracer.ToChromeTraceJson();
+    auto parsed = obs::ParseJson(doc);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    (void)tracer.events();
+    tracer.Clear();  // keeps each export small while spans keep closing
+  }
+  stop.store(true);
+  spanner.join();
+  EXPECT_TRUE(obs::ParseJson(tracer.ToChromeTraceJson()).ok());
 }
 
 // --- Percentile / load-summary math --------------------------------------
@@ -115,6 +146,44 @@ TEST(HistogramTest, SummarizeLoads) {
 
   obs::LoadSummary zeros = obs::SummarizeLoads({0, 0});
   EXPECT_DOUBLE_EQ(zeros.imbalance, 1.0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty input: every percentile is 0.
+  EXPECT_EQ(obs::Percentile({}, 0), 0u);
+  EXPECT_EQ(obs::Percentile({}, 100), 0u);
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(obs::Percentile({42}, 0), 42u);
+  EXPECT_EQ(obs::Percentile({42}, 50), 42u);
+  EXPECT_EQ(obs::Percentile({42}, 100), 42u);
+  // p=0 / p=100 on a multi-sample vector hit min and max.
+  std::vector<uint64_t> v = {9, 1, 5};
+  EXPECT_EQ(obs::Percentile(v, 0), 1u);
+  EXPECT_EQ(obs::Percentile(v, 100), 9u);
+}
+
+TEST(HistogramTest, SummarizeLoadsEdgeCases) {
+  // All-equal loads: perfectly balanced, every percentile equals the load.
+  obs::LoadSummary eq = obs::SummarizeLoads({250, 250, 250, 250});
+  EXPECT_EQ(eq.partitions, 4u);
+  EXPECT_EQ(eq.min, 250u);
+  EXPECT_EQ(eq.p50, 250u);
+  EXPECT_EQ(eq.p95, 250u);
+  EXPECT_EQ(eq.max, 250u);
+  EXPECT_EQ(eq.total, 1000u);
+  EXPECT_DOUBLE_EQ(eq.mean, 250.0);
+  EXPECT_DOUBLE_EQ(eq.imbalance, 1.0);
+
+  // Single partition: imbalance is max/mean = 1 by construction.
+  obs::LoadSummary one = obs::SummarizeLoads({77});
+  EXPECT_EQ(one.partitions, 1u);
+  EXPECT_DOUBLE_EQ(one.imbalance, 1.0);
+
+  // Zero mean (all-idle partitions) must not divide by zero.
+  obs::LoadSummary idle = obs::SummarizeLoads({0, 0, 0});
+  EXPECT_EQ(idle.total, 0u);
+  EXPECT_DOUBLE_EQ(idle.mean, 0.0);
+  EXPECT_DOUBLE_EQ(idle.imbalance, 1.0);
 }
 
 TEST(StatsTest, ImbalanceFactorAndStragglerSummary) {
@@ -195,6 +264,35 @@ TEST(JsonTest, WriterParserRoundTrip) {
   EXPECT_DOUBLE_EQ(v.Find("list")->arr[0].num, -3.0);
   ASSERT_TRUE(v.Find("list")->arr[2].is_object());
   EXPECT_FALSE(v.Find("list")->arr[2].Find("nested")->b);
+}
+
+TEST(JsonTest, EscapeParseRoundTripProperty) {
+  // Property: for any byte string s, parsing "\"" + JsonEscape(s) + "\""
+  // yields s back — exercised over every control character, the JSON
+  // specials, and multi-byte UTF-8 sequences (which JsonEscape must pass
+  // through untouched).
+  std::vector<std::string> cases;
+  for (int c = 0; c < 0x20; ++c) cases.push_back(std::string(1, static_cast<char>(c)));
+  cases.push_back("\"");
+  cases.push_back("\\");
+  cases.push_back("plain ascii");
+  cases.push_back("tab\there\nnewline\rret");
+  cases.push_back("\xc3\xa9");              // é (2-byte UTF-8)
+  cases.push_back("\xe6\x97\xa5\xe6\x9c\xac");  // 日本 (3-byte UTF-8)
+  cases.push_back("\xf0\x9f\x92\xbe");      // 💾 (4-byte UTF-8)
+  cases.push_back(std::string("nul\x00mid", 8));  // embedded NUL survives
+  // A mixed torture string combining everything above.
+  std::string mixed;
+  for (const auto& c : cases) mixed += c;
+  cases.push_back(mixed);
+
+  for (const auto& original : cases) {
+    std::string doc = "\"" + obs::JsonEscape(original) + "\"";
+    auto parsed = obs::ParseJson(doc);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << " for doc: " << doc;
+    EXPECT_EQ(parsed.value().str, original) << "round-trip mismatch for: " << doc;
+  }
 }
 
 TEST(JsonTest, ParserRejectsGarbage) {
