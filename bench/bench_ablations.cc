@@ -8,7 +8,13 @@
 //   5. column pruning on/off — shredded nested-to-flat, 4 levels;
 //   6. heavy-key threshold sweep — skew-aware join at skew factor 3;
 //   7. narrow-stage fusion on/off — standard flat-to-nested, both the fused
-//      single-pass chains and the per-operator materializing baseline.
+//      single-pass chains and the per-operator materializing baseline;
+//   8. fault injection & recovery sweep — standard flat-to-nested across
+//      fault rates (sim stays fault-invariant; recovery columns grow);
+//   9. flat open-addressing hash tables on/off — standard flat-to-nested,
+//      arena-backed linear probing vs. the std::unordered_map route
+//      (results and shuffle stats are bit-identical; only wall time and
+//      the flat-only table counters differ).
 #include <cstdio>
 #include <optional>
 
@@ -236,6 +242,28 @@ int main() {
           FormatDouble(r.recovery_sim_s, 2).c_str());
       rec(std::move(r));
     }
+  }
+  // 9. Flat open-addressing hash tables.
+  {
+    PrintHeader("Ablation 9: flat hash tables (standard flat-to-nested d2)");
+    Prepared p = Prepare(2, 0.0);
+    auto q = tpch::FlatToNested(2, tpch::Width::kNarrow).ValueOrDie();
+    exec::PipelineOptions on;
+    RunResult r_on = RunStd("flat hash ON", p, q, on, false);
+    exec::PipelineOptions off;
+    off.exec.enable_flat_hash = false;
+    RunResult r_off =
+        RunStd("flat hash OFF (std::unordered_map)", p, q, off, false);
+    // The flag only changes the hash-table implementation: every simulated
+    // stat must match, and the flat-only counters must vanish when off.
+    TRANCE_CHECK(r_on.shuffle_bytes == r_off.shuffle_bytes &&
+                     r_on.hash_build_rows == r_off.hash_build_rows &&
+                     r_on.hash_probe_hits == r_off.hash_probe_hits,
+                 "flat hash ablation must be stats-transparent");
+    TRANCE_CHECK(r_on.hash_table_bytes > 0 && r_off.hash_table_bytes == 0,
+                 "flat-only counters gate on the flag");
+    rec(std::move(r_on));
+    rec(std::move(r_off));
   }
   TRANCE_CHECK(WriteBenchReport("ablations", all).ok(), "bench report");
   return 0;

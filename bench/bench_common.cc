@@ -119,6 +119,9 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.hash_build_rows = stats.hash_build_rows();
   r.hash_probe_hits = stats.hash_probe_hits();
   r.hash_max_chain = stats.hash_max_chain();
+  r.hash_table_bytes = stats.hash_table_bytes();
+  r.hash_resizes = stats.hash_resizes();
+  r.hash_probe_len_max = stats.hash_probe_len_max();
   r.stats = stats;
   r.metrics = cluster->metrics().Snapshot();
   r.ok = st.ok();
@@ -235,6 +238,12 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.hash_probe_hits);
     w.Key("hash_max_chain");
     w.Uint(r.hash_max_chain);
+    w.Key("hash_table_bytes");
+    w.Uint(r.hash_table_bytes);
+    w.Key("hash_resizes");
+    w.Uint(r.hash_resizes);
+    w.Key("hash_probe_len_max");
+    w.Uint(r.hash_probe_len_max);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

@@ -56,6 +56,12 @@ struct RunResult {
   uint64_t hash_build_rows = 0;
   uint64_t hash_probe_hits = 0;
   uint64_t hash_max_chain = 0;
+  /// Flat hash-table telemetry (PR 7): table footprint, slot-array
+  /// doublings, longest probe sequence. All zero when
+  /// ExecOptions::enable_flat_hash is off. See docs/METRICS.md.
+  uint64_t hash_table_bytes = 0;
+  uint64_t hash_resizes = 0;
+  uint64_t hash_probe_len_max = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

@@ -99,6 +99,9 @@ const ScalarRule kScalarRules[] = {
     {"hash_build_rows", Policy::kExact},
     {"hash_probe_hits", Policy::kExact},
     {"hash_max_chain", Policy::kExact},
+    {"hash_table_bytes", Policy::kExact},
+    {"hash_resizes", Policy::kExact},
+    {"hash_probe_len_max", Policy::kExact},
     {"sim_seconds", Policy::kSimTime},
     {"recovery_sim_seconds", Policy::kSimTime},
     {"wall_seconds", Policy::kWallSoft},

@@ -5,14 +5,19 @@
 //
 // The keyed operators (join, nest, dedup) take a second argument toggling
 // ExecOptions::enable_key_codec, the binary-key/legacy-KeyView ablation of
-// PR 5. main() additionally runs a fixed-size rows/sec regression pass over
-// dedup, join build/probe, and nest with the codec on and off and writes it
-// to BENCH_micro_key_codec.json before the google-benchmark suite starts.
+// PR 5; BM_FlatHashBuild/BM_FlatHashProbe compare the flat open-addressing
+// table against the std::unordered_map fallback directly (PR 7). main()
+// additionally runs fixed-size rows/sec regression passes over dedup, join
+// build/probe, and nest — codec on/off to BENCH_micro_key_codec.json and
+// flat table on/off to BENCH_micro_flat_hash.json — before the
+// google-benchmark suite starts.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "nrc/builder.h"
 #include "runtime/cluster.h"
+#include "runtime/flat_hash.h"
+#include "runtime/key_codec.h"
 #include "runtime/ops.h"
 #include "shred/value_shredder.h"
 #include "skew/skew.h"
@@ -204,6 +209,87 @@ nrc::TypePtr NestedType() {
                 BagTu({{"pid", Type::Int()}, {"qty", Type::Real()}})}})}});
 }
 
+namespace key_codec = runtime::key_codec;
+namespace flat_hash = runtime::flat_hash;
+
+/// Pre-encoded distinct keys for the container micro-benchmarks (an int +
+/// short string key, the shape the keyed operators encode most).
+std::vector<key_codec::EncodedKey> MakeEncodedKeys(int64_t n) {
+  key_codec::KeyEncoder enc;
+  std::vector<key_codec::EncodedKey> keys;
+  keys.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Row row({Field::Int(i), Field::Str("k" + std::to_string(i))});
+    keys.push_back(key_codec::Materialize(enc.EncodeRow(row).ValueOrDie()));
+  }
+  return keys;
+}
+
+/// Direct container ablation: insert n distinct pre-encoded keys into the
+/// flat table (arg 1 = 1) or the std::unordered_map fallback (arg 1 = 0),
+/// growth included (tables start empty, as nest/aggregate builds do).
+template <class Index>
+void FlatHashBuildLoop(benchmark::State& state,
+                       const std::vector<key_codec::EncodedKey>& keys) {
+  for (auto _ : state) {
+    Index idx;
+    for (const auto& k : keys) {
+      benchmark::DoNotOptimize(
+          idx.FindOrInsert(key_codec::EncodedKeyView{k.hash, k.bytes}));
+    }
+    benchmark::DoNotOptimize(idx.size());
+  }
+}
+
+void BM_FlatHashBuild(benchmark::State& state) {
+  std::vector<key_codec::EncodedKey> keys = MakeEncodedKeys(state.range(0));
+  if (state.range(1) != 0) {
+    FlatHashBuildLoop<flat_hash::FlatKeyIndex>(state, keys);
+  } else {
+    FlatHashBuildLoop<flat_hash::StdKeyIndex>(state, keys);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlatHashBuild)
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 0});
+
+/// Probe side of the same ablation: every lookup hits a key built once
+/// outside the timed loop (the join-probe access pattern).
+template <class Index>
+void FlatHashProbeLoop(benchmark::State& state,
+                       const std::vector<key_codec::EncodedKey>& keys) {
+  Index idx(keys.size());
+  for (const auto& k : keys) {
+    idx.FindOrInsert(key_codec::EncodedKeyView{k.hash, k.bytes});
+  }
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (const auto& k : keys) {
+      found += idx.Find(key_codec::EncodedKeyView{k.hash, k.bytes}) !=
+               Index::kNotFound;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+
+void BM_FlatHashProbe(benchmark::State& state) {
+  std::vector<key_codec::EncodedKey> keys = MakeEncodedKeys(state.range(0));
+  if (state.range(1) != 0) {
+    FlatHashProbeLoop<flat_hash::FlatKeyIndex>(state, keys);
+  } else {
+    FlatHashProbeLoop<flat_hash::StdKeyIndex>(state, keys);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlatHashProbe)
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 0});
+
 void BM_ValueShred(benchmark::State& state) {
   nrc::Value v = MakeNested(state.range(0), 10, 10);
   nrc::TypePtr t = NestedType();
@@ -283,10 +369,66 @@ Status RunKeyCodecAblation() {
   return bench::WriteBenchReport("micro_key_codec", results);
 }
 
+// Fixed-size regression pass over the same keyed workloads with the codec
+// on and ExecOptions::enable_flat_hash toggled — the flat-vs-unordered_map
+// container ablation. Results land in BENCH_micro_flat_hash.json; the
+// flat_off runs report hash_table_bytes/hash_resizes/hash_probe_len_max as
+// exactly 0 while every codec-invariant counter matches the flat_on runs.
+Status RunFlatHashAblation() {
+  std::vector<bench::RunResult> results;
+  const int64_t n = 200000;
+  for (bool flat : {true, false}) {
+    ClusterConfig cfg{.num_partitions = 8};
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(true);
+    cluster.set_flat_hash_enabled(flat);
+    const std::string suffix = flat ? ".flat_on" : ".flat_off";
+
+    Dataset dup = MakeDup(&cluster, n, n / 16, 6);
+    size_t rows = 0;
+    bench::RunResult r = bench::TimedRun(
+        "distinct" + suffix, &cluster, [&]() -> Status {
+          TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                                  runtime::Distinct(&cluster, dup, "dedup"));
+          rows = out.NumRows();
+          return Status::OK();
+        });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset l = MakeKv(&cluster, n, 1000, 0.0, 1);
+    Dataset d = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+    r = bench::TimedRun("hash_join" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::HashJoin(&cluster, l, d, {0}, {0},
+                                         runtime::JoinType::kInner, "join"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset kv = MakeKv(&cluster, n, 1024, 0.0, 4);
+    r = bench::TimedRun("nest" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::NestGroup(&cluster, kv, {0}, {1}, "bag", "nest"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+  }
+  bench::PrintHeader("flat hash ablation (rows/s = rows / wall)");
+  for (const auto& r : results) bench::PrintResult(r);
+  return bench::WriteBenchReport("micro_flat_hash", results);
+}
+
 }  // namespace trance
 
 int main(int argc, char** argv) {
   TRANCE_CHECK(trance::RunKeyCodecAblation().ok(), "key codec ablation");
+  TRANCE_CHECK(trance::RunFlatHashAblation().ok(), "flat hash ablation");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -47,6 +47,17 @@ struct ExecOptions {
   /// bit-identical either way (tests/key_codec_test.cc); only the
   /// key_encode_bytes counter differs (0 when off).
   bool enable_key_codec = true;
+  /// Back the encoded-key operators with the open-addressing flat hash
+  /// table of runtime/flat_hash.h (arena-stored key bytes, memcmp probes,
+  /// no per-key allocation) instead of the node-based std::unordered_map.
+  /// Composes with enable_key_codec: it only takes effect on the encoded
+  /// path (the legacy KeyView containers have no encoded keys to index).
+  /// Escape hatch for ablations: rows, placement, shuffle bytes, and all
+  /// pre-existing stats are bit-identical either way
+  /// (tests/flat_hash_test.cc); only the flat-only counters
+  /// (hash_table_bytes/hash_resizes/hash_probe_len_max) differ (0 when
+  /// off).
+  bool enable_flat_hash = true;
 };
 
 /// Executes plans against named datasets registered on a cluster.
@@ -57,6 +68,7 @@ class Executor {
     // The codec switch lives on the cluster so the runtime operators (and
     // the skew layer) see it without threading options through every call.
     cluster_->set_key_codec_enabled(options_.enable_key_codec);
+    cluster_->set_flat_hash_enabled(options_.enable_flat_hash);
   }
 
   /// Registers an input (or intermediate) dataset under `name`.

@@ -115,6 +115,29 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t hash_table_bytes() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->hash_table_bytes;
+    }
+    return n;
+  }
+  uint64_t hash_resizes() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->hash_resizes;
+    }
+    return n;
+  }
+  uint64_t hash_probe_len_max() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage && e.stage->hash_probe_len_max > n) {
+        n = e.stage->hash_probe_len_max;
+      }
+    }
+    return n;
+  }
   uint64_t injected_faults() const {
     uint64_t n = 0;
     for (const auto& e : entries) {
@@ -185,6 +208,11 @@ std::string StatsSuffix(const NodeStats& ns) {
     os << " ht(build=" << ns.hash_build_rows()
        << " hits=" << ns.hash_probe_hits()
        << " chain=" << ns.hash_max_chain() << ")";
+  }
+  if (ns.hash_table_bytes() > 0) {
+    os << " flat(tbl=" << FormatBytes(ns.hash_table_bytes())
+       << " resizes=" << ns.hash_resizes()
+       << " probe=" << ns.hash_probe_len_max() << ")";
   }
   if (ns.key_encode_bytes() > 0) {
     os << " key_bytes=" << FormatBytes(ns.key_encode_bytes());
@@ -296,6 +324,11 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
     os << " ht(build=" << stats.hash_build_rows()
        << " hits=" << stats.hash_probe_hits()
        << " chain=" << stats.hash_max_chain() << ")";
+  }
+  if (stats.hash_table_bytes() > 0) {
+    os << " flat(tbl=" << FormatBytes(stats.hash_table_bytes())
+       << " resizes=" << stats.hash_resizes()
+       << " probe=" << stats.hash_probe_len_max() << ")";
   }
   if (stats.key_encode_bytes() > 0) {
     os << " key_bytes=" << FormatBytes(stats.key_encode_bytes());

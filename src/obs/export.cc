@@ -103,6 +103,14 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("hash_max_chain");
       w->Uint(s.hash_max_chain);
     }
+    if (s.hash_table_bytes > 0 || s.hash_resizes > 0) {
+      w->Key("hash_table_bytes");
+      w->Uint(s.hash_table_bytes);
+      w->Key("hash_resizes");
+      w->Uint(s.hash_resizes);
+      w->Key("hash_probe_len_max");
+      w->Uint(s.hash_probe_len_max);
+    }
     if (s.injected_faults > 0) {
       w->Key("injected_faults");
       w->Uint(s.injected_faults);
@@ -168,6 +176,12 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->Uint(stats.hash_probe_hits());
   w->Key("hash_max_chain");
   w->Uint(stats.hash_max_chain());
+  w->Key("hash_table_bytes");
+  w->Uint(stats.hash_table_bytes());
+  w->Key("hash_resizes");
+  w->Uint(stats.hash_resizes());
+  w->Key("hash_probe_len_max");
+  w->Uint(stats.hash_probe_len_max());
   w->Key("injected_faults");
   w->Uint(stats.injected_faults());
   w->Key("retries");

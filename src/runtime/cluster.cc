@@ -82,6 +82,18 @@ void Cluster::PublishStage(size_t stage_index, const StageStats& s) {
                 "max input rows mapped to a single key")
       ->SetMax(static_cast<double>(s.hash_max_chain));
   metrics_
+      .GetCounter("trance_hash_table_bytes_total",
+                  "flat hash-table footprint built by keyed operators")
+      ->Add(s.hash_table_bytes);
+  metrics_
+      .GetCounter("trance_hash_resizes_total",
+                  "flat hash-table slot-array doublings")
+      ->Add(s.hash_resizes);
+  metrics_
+      .GetGauge("trance_hash_probe_len_max",
+                "longest open-addressing probe sequence")
+      ->SetMax(static_cast<double>(s.hash_probe_len_max));
+  metrics_
       .GetGauge("trance_max_stage_shuffle_bytes",
                 "largest single-stage shuffle")
       ->SetMax(static_cast<double>(s.shuffle_bytes));

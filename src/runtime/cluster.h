@@ -179,6 +179,18 @@ class Cluster {
   bool key_codec_enabled() const { return key_codec_enabled_; }
   void set_key_codec_enabled(bool on) { key_codec_enabled_ = on; }
 
+  /// Whether the encoded-key operators use the open-addressing flat table
+  /// of runtime/flat_hash.h (default) or the node-based
+  /// std::unordered_map fallback. Only observable when the key codec is
+  /// enabled (the legacy KeyView path has no encoded keys to index). Set by
+  /// the executor from ExecOptions::enable_flat_hash; results and all
+  /// pre-existing stats are bit-identical either way
+  /// (tests/flat_hash_test.cc) — only the flat-only counters
+  /// (hash_table_bytes / hash_resizes / hash_probe_len_max) differ (0 when
+  /// off).
+  bool flat_hash_enabled() const { return flat_hash_enabled_; }
+  void set_flat_hash_enabled(bool on) { flat_hash_enabled_ = on; }
+
   /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
   /// ANALYZE): stages recorded while a scope is active carry its name.
   void PushScope(std::string scope) {
@@ -203,6 +215,7 @@ class Cluster {
   ClusterConfig config_;
   int num_threads_;
   bool key_codec_enabled_ = true;
+  bool flat_hash_enabled_ = true;
   FaultInjector injector_;
   obs::MetricRegistry metrics_;
   /// Event-log job tag; mutated by BeginJob from the driver only.

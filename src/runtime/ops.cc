@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/flat_hash.h"
 #include "runtime/key_codec.h"
 #include "util/hash.h"
 
@@ -56,6 +57,11 @@ class KeyStatsMeter {
     if (total.max_chain > s->hash_max_chain) {
       s->hash_max_chain = total.max_chain;
     }
+    s->hash_table_bytes += total.table_bytes;
+    s->hash_resizes += total.resizes;
+    if (total.probe_len_max > s->hash_probe_len_max) {
+      s->hash_probe_len_max = total.probe_len_max;
+    }
   }
 
  private:
@@ -85,12 +91,34 @@ bool KeyColsEncodable(const Schema& s, const std::vector<int>& cols) {
   return true;
 }
 
-using EncodedRowPtrsMap =
-    std::unordered_map<key_codec::EncodedKey, std::vector<const Row*>,
-                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>;
-using EncodedIndexMap =
-    std::unordered_map<key_codec::EncodedKey, size_t,
-                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>;
+/// Which container idiom a keyed operator runs on. Two code paths exist per
+/// operator: the encoded path (written once, instantiated with either index
+/// container via WithKeyIndex) and the legacy KeyView fallback.
+enum class KeyedMode {
+  kFlat,    // codec on, flat on: open-addressing table over arena key bytes
+  kStdMap,  // codec on, flat off: node-based unordered_map<EncodedKey, …>
+  kLegacy,  // codec off (or unencodable keys): historical KeyView containers
+};
+
+KeyedMode KeyedModeFor(const Cluster* cluster, bool encodable) {
+  if (!cluster->key_codec_enabled() || !encodable) return KeyedMode::kLegacy;
+  return cluster->flat_hash_enabled() ? KeyedMode::kFlat : KeyedMode::kStdMap;
+}
+
+template <class T>
+struct IndexTag {
+  using type = T;
+};
+
+/// Runs the encoded keyed loop `f` with its index container type: the flat
+/// open-addressing table (default) or the std::unordered_map fallback when
+/// enable_flat_hash is off. The loop body is written once and instantiated
+/// with both, so the escape hatch cannot drift from the flat path.
+template <class F>
+auto WithKeyIndex(KeyedMode mode, F&& f) {
+  return mode == KeyedMode::kFlat ? f(IndexTag<flat_hash::FlatKeyIndex>{})
+                                  : f(IndexTag<flat_hash::StdKeyIndex>{});
+}
 
 /// Accumulates `add` into `into[i]`, growing the histogram on first use (a
 /// stage may run several shuffles, e.g. both sides of a join).
@@ -276,14 +304,14 @@ bool HasNullKey(const Row& r, const std::vector<int>& cols) {
 /// Partition-local hash join of two row lists. `right_width` is the right
 /// schema's width (an empty right partition must still NULL-pad fully).
 /// Writes the deep-size footprint of the rows it appended to *out_bytes and
-/// the keyed-phase telemetry into *ks. With `use_codec` the build table is
-/// keyed by compact binary keys (one materialization per distinct key, no
-/// per-probe allocation); otherwise the historical KeyView containers run.
-/// Both paths count build/probe/chain identically — key identity coincides,
-/// so the counters are codec-invariant.
+/// the keyed-phase telemetry into *ks. On the encoded modes the build table
+/// is keyed by compact binary keys (one arena append per distinct key, no
+/// per-probe allocation); kLegacy runs the historical KeyView containers.
+/// All paths count build/probe/chain identically — key identity coincides,
+/// so the counters are mode-invariant.
 Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
                  const std::vector<int>& lk, const std::vector<int>& rk,
-                 JoinType type, size_t right_width, bool use_codec,
+                 JoinType type, size_t right_width, KeyedMode mode,
                  std::vector<Row>* out, uint64_t* out_bytes,
                  key_codec::KeyStats* ks) {
   *out_bytes = 0;
@@ -299,41 +327,45 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
       *out_bytes += RowDeepSize(out->back());
     }
   };
-  if (use_codec) {
-    EncodedRowPtrsMap built;
-    built.reserve(right.size());
-    key_codec::KeyEncoder enc;
-    for (const auto& r : right) {
-      if (HasNullKey(r, rk)) continue;
-      TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k, enc.Encode(r, rk));
-      auto it = built.find(k);
-      if (it == built.end()) {
-        it = built.emplace(key_codec::Materialize(k),
-                           std::vector<const Row*>{})
-                 .first;
-        ks->build_rows++;
-      } else {
-        ks->probe_hits++;
-      }
-      it->second.push_back(&r);
-      if (it->second.size() > ks->max_chain) ks->max_chain = it->second.size();
-    }
-    for (const auto& l : left) {
-      bool matched = false;
-      if (!HasNullKey(l, lk)) {
-        TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
-                                enc.Encode(l, lk));
-        auto it = built.find(k);
-        if (it != built.end()) {
-          matched = true;
+  if (mode != KeyedMode::kLegacy) {
+    return WithKeyIndex(mode, [&](auto tag) -> Status {
+      typename decltype(tag)::type built(right.size());
+      // Dense per-key row chains, indexed by the table's insertion-order
+      // index (the map-based path stored them in the node values).
+      std::vector<std::vector<const Row*>> chains;
+      chains.reserve(right.size());
+      key_codec::KeyEncoder enc;
+      for (const auto& r : right) {
+        if (HasNullKey(r, rk)) continue;
+        TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k, enc.Encode(r, rk));
+        auto [gi, inserted] = built.FindOrInsert(k);
+        if (inserted) {
+          chains.emplace_back();
+          ks->build_rows++;
+        } else {
           ks->probe_hits++;
-          emit_matches(l, it->second);
         }
+        chains[gi].push_back(&r);
+        if (chains[gi].size() > ks->max_chain) ks->max_chain = chains[gi].size();
       }
-      if (!matched) emit_miss(l);
-    }
-    ks->encode_bytes += enc.bytes_encoded();
-    return Status::OK();
+      for (const auto& l : left) {
+        bool matched = false;
+        if (!HasNullKey(l, lk)) {
+          TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
+                                  enc.Encode(l, lk));
+          uint32_t gi = built.Find(k);
+          if (gi != decltype(built)::kNotFound) {
+            matched = true;
+            ks->probe_hits++;
+            emit_matches(l, chains[gi]);
+          }
+        }
+        if (!matched) emit_miss(l);
+      }
+      ks->encode_bytes += enc.bytes_encoded();
+      NoteTableStats(built, ks);
+      return Status::OK();
+    });
   }
   std::unordered_map<KeyView, std::vector<const Row*>, KeyViewHash, KeyViewEq>
       built;
@@ -475,16 +507,16 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   KeyStatsMeter kmeter(nparts);
-  const bool use_codec = cluster->key_codec_enabled() &&
-                         KeyColsEncodable(left.schema, left_keys) &&
-                         KeyColsEncodable(right.schema, right_keys);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
+                                KeyColsEncodable(right.schema, right_keys));
   std::vector<uint64_t> out_bytes(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
         errs[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
-                            type, right.schema.size(), use_codec,
+                            type, right.schema.size(), mode,
                             &out.partitions[p], &out_bytes[p],
                             &kmeter.slot(p));
         work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
@@ -561,9 +593,9 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   out.partitions.resize(nparts);
   WorkMeter work(nparts);
   KeyStatsMeter kmeter(nparts);
-  const bool use_codec = cluster->key_codec_enabled() &&
-                         KeyColsEncodable(left.schema, left_keys) &&
-                         KeyColsEncodable(right.schema, right_keys);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
+                                KeyColsEncodable(right.schema, right_keys));
   std::vector<uint64_t> left_bytes =
       left.PartitionBytes(cluster->num_threads());
   std::vector<uint64_t> out_bytes(nparts, 0);
@@ -572,7 +604,7 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
       name, nparts, &stage,
       [&](size_t p) {
         errs[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
-                            type, right.schema.size(), use_codec,
+                            type, right.schema.size(), mode,
                             &out.partitions[p], &out_bytes[p],
                             &kmeter.slot(p));
         work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
@@ -633,8 +665,8 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
   KeyStatsMeter kmeter(nparts);
-  const bool use_codec =
-      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(in.schema, key_cols));
   std::vector<Status> errs(nparts);
   auto nest_task = [&](size_t p) {
     // Group storage is mode-independent: (key fields of the first row that
@@ -663,31 +695,32 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         groups[gi].second.push_back(std::move(inner));
       }
     };
-    if (use_codec) {
-      EncodedIndexMap index;
-      key_codec::KeyEncoder enc;
-      for (const auto& row : sp.parts[p]) {
-        auto kv = enc.Encode(row, key_cols);
-        if (!kv.ok()) {
-          errs[p] = kv.status();
-          return;
+    if (mode != KeyedMode::kLegacy) {
+      bool failed = WithKeyIndex(mode, [&](auto tag) -> bool {
+        typename decltype(tag)::type index;
+        key_codec::KeyEncoder enc;
+        for (const auto& row : sp.parts[p]) {
+          auto kv = enc.Encode(row, key_cols);
+          if (!kv.ok()) {
+            errs[p] = kv.status();
+            return true;
+          }
+          auto [gi, inserted] = index.FindOrInsert(kv.value());
+          if (inserted) {
+            groups.emplace_back(ExtractKey(row, key_cols).fields,
+                                std::vector<Row>{});
+            group_rows.push_back(0);
+            ks.build_rows++;
+          } else {
+            ks.probe_hits++;
+          }
+          add_row(gi, row);
         }
-        size_t gi;
-        auto it = index.find(kv.value());
-        if (it == index.end()) {
-          gi = groups.size();
-          index.emplace(key_codec::Materialize(kv.value()), gi);
-          groups.emplace_back(ExtractKey(row, key_cols).fields,
-                              std::vector<Row>{});
-          group_rows.push_back(0);
-          ks.build_rows++;
-        } else {
-          gi = it->second;
-          ks.probe_hits++;
-        }
-        add_row(gi, row);
-      }
-      ks.encode_bytes += enc.bytes_encoded();
+        ks.encode_bytes += enc.bytes_encoded();
+        NoteTableStats(index, &ks);
+        return false;
+      });
+      if (failed) return;
     } else {
       std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
       for (const auto& row : sp.parts[p]) {
@@ -772,8 +805,8 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   for (int i = 0; i < static_cast<int>(key_cols.size()); ++i) {
     partial_keys.push_back(i);
   }
-  const bool use_codec =
-      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(in.schema, key_cols));
 
   // Local aggregation of one row list into (key, sums) rows. A row whose
   // value fields are all NULL marks an outer miss: it creates the group but
@@ -827,25 +860,25 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
       group_rows.push_back(0);
       ks->build_rows++;
     };
-    if (use_codec) {
-      EncodedIndexMap index;
-      key_codec::KeyEncoder enc;
-      for (const auto& row : rows) {
-        TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
-                                enc.Encode(row, cols));
-        size_t gi;
-        auto it = index.find(k);
-        if (it == index.end()) {
-          gi = groups.size();
-          index.emplace(key_codec::Materialize(k), gi);
-          new_group(key_fields_of(row));
-        } else {
-          gi = it->second;
-          ks->probe_hits++;
+    if (mode != KeyedMode::kLegacy) {
+      TRANCE_RETURN_NOT_OK(WithKeyIndex(mode, [&](auto tag) -> Status {
+        typename decltype(tag)::type index;
+        key_codec::KeyEncoder enc;
+        for (const auto& row : rows) {
+          TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
+                                  enc.Encode(row, cols));
+          auto [gi, inserted] = index.FindOrInsert(k);
+          if (inserted) {
+            new_group(key_fields_of(row));
+          } else {
+            ks->probe_hits++;
+          }
+          fold(gi, row);
         }
-        fold(gi, row);
-      }
-      ks->encode_bytes += enc.bytes_encoded();
+        ks->encode_bytes += enc.bytes_encoded();
+        NoteTableStats(index, ks);
+        return Status::OK();
+      }));
     } else {
       std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
       for (const auto& row : rows) {
@@ -1090,8 +1123,8 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   KeyStatsMeter kmeter(nparts);
   // Dedup keys on every column, so any bag-typed column sends the whole
   // operator down the legacy path (bag keys compare structurally there).
-  const bool use_codec =
-      cluster->key_codec_enabled() && KeyColsEncodable(in.schema, all_cols);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(in.schema, all_cols));
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
@@ -1101,33 +1134,36 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
           out_bytes[p] += RowDeepSize(row);
           out.partitions[p].push_back(row);
         };
-        if (use_codec) {
+        if (mode != KeyedMode::kLegacy) {
           // The membership test encodes into the task's scratch buffer and
           // probes without materializing — the fix for the historical
-          // full-row KeyView deep copy per test.
-          std::unordered_map<key_codec::EncodedKey, uint64_t,
-                             key_codec::EncodedKeyHash,
-                             key_codec::EncodedKeyEq>
-              seen;
-          key_codec::KeyEncoder enc;
-          for (const auto& row : sp.parts[p]) {
-            auto kv = enc.EncodeRow(row);
-            if (!kv.ok()) {
-              errs[p] = kv.status();
-              return;
+          // full-row KeyView deep copy per test. Per-key duplicate counts
+          // (the chain stat) live densely beside the index.
+          WithKeyIndex(mode, [&](auto tag) {
+            typename decltype(tag)::type seen;
+            std::vector<uint64_t> counts;
+            key_codec::KeyEncoder enc;
+            for (const auto& row : sp.parts[p]) {
+              auto kv = enc.EncodeRow(row);
+              if (!kv.ok()) {
+                errs[p] = kv.status();
+                return;
+              }
+              auto [gi, inserted] = seen.FindOrInsert(kv.value());
+              if (inserted) {
+                counts.push_back(1);
+                ks.build_rows++;
+                if (ks.max_chain < 1) ks.max_chain = 1;
+                emit(row);
+              } else {
+                ks.probe_hits++;
+                if (++counts[gi] > ks.max_chain) ks.max_chain = counts[gi];
+              }
             }
-            auto it = seen.find(kv.value());
-            if (it == seen.end()) {
-              seen.emplace(key_codec::Materialize(kv.value()), 1);
-              ks.build_rows++;
-              if (ks.max_chain < 1) ks.max_chain = 1;
-              emit(row);
-            } else {
-              ks.probe_hits++;
-              if (++it->second > ks.max_chain) ks.max_chain = it->second;
-            }
-          }
-          ks.encode_bytes += enc.bytes_encoded();
+            ks.encode_bytes += enc.bytes_encoded();
+            NoteTableStats(seen, &ks);
+          });
+          if (!errs[p].ok()) return;
         } else {
           std::unordered_map<KeyView, uint64_t, KeyViewHash, KeyViewEq> seen;
           for (const auto& row : sp.parts[p]) {
@@ -1190,9 +1226,9 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   WorkMeter work(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
   KeyStatsMeter kmeter(nparts);
-  const bool use_codec = cluster->key_codec_enabled() &&
-                         KeyColsEncodable(left.schema, left_keys) &&
-                         KeyColsEncodable(right.schema, right_keys);
+  const KeyedMode mode =
+      KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
+                                KeyColsEncodable(right.schema, right_keys));
   std::vector<Status> errs(nparts);
   auto cogroup_task = [&](size_t p) {
     key_codec::KeyStats& ks = kmeter.slot(p);
@@ -1213,49 +1249,50 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
       out_bytes[p] += sz;
       out.partitions[p].push_back(std::move(row));
     };
-    if (use_codec) {
-      std::unordered_map<key_codec::EncodedKey, std::vector<Row>,
-                         key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>
-          built;
-      key_codec::KeyEncoder enc;
-      for (const auto& r : rsp.parts[p]) {
-        if (HasNullKey(r, right_keys)) continue;
-        auto kv = enc.Encode(r, right_keys);
-        if (!kv.ok()) {
-          errs[p] = kv.status();
-          return;
-        }
-        auto it = built.find(kv.value());
-        if (it == built.end()) {
-          it = built.emplace(key_codec::Materialize(kv.value()),
-                             std::vector<Row>{})
-                   .first;
-          ks.build_rows++;
-        } else {
-          ks.probe_hits++;
-        }
-        it->second.push_back(project_right(r));
-        if (it->second.size() > ks.max_chain) {
-          ks.max_chain = it->second.size();
-        }
-      }
-      for (const auto& l : lsp.parts[p]) {
-        const std::vector<Row>* matches = nullptr;
-        if (!HasNullKey(l, left_keys)) {
-          auto kv = enc.Encode(l, left_keys);
+    if (mode != KeyedMode::kLegacy) {
+      WithKeyIndex(mode, [&](auto tag) {
+        typename decltype(tag)::type built;
+        std::vector<std::vector<Row>> chains;  // dense index -> right rows
+        key_codec::KeyEncoder enc;
+        for (const auto& r : rsp.parts[p]) {
+          if (HasNullKey(r, right_keys)) continue;
+          auto kv = enc.Encode(r, right_keys);
           if (!kv.ok()) {
             errs[p] = kv.status();
             return;
           }
-          auto it = built.find(kv.value());
-          if (it != built.end()) {
+          auto [gi, inserted] = built.FindOrInsert(kv.value());
+          if (inserted) {
+            chains.emplace_back();
+            ks.build_rows++;
+          } else {
             ks.probe_hits++;
-            matches = &it->second;
+          }
+          chains[gi].push_back(project_right(r));
+          if (chains[gi].size() > ks.max_chain) {
+            ks.max_chain = chains[gi].size();
           }
         }
-        emit(l, matches);
-      }
-      ks.encode_bytes += enc.bytes_encoded();
+        for (const auto& l : lsp.parts[p]) {
+          const std::vector<Row>* matches = nullptr;
+          if (!HasNullKey(l, left_keys)) {
+            auto kv = enc.Encode(l, left_keys);
+            if (!kv.ok()) {
+              errs[p] = kv.status();
+              return;
+            }
+            uint32_t gi = built.Find(kv.value());
+            if (gi != decltype(built)::kNotFound) {
+              ks.probe_hits++;
+              matches = &chains[gi];
+            }
+          }
+          emit(l, matches);
+        }
+        ks.encode_bytes += enc.bytes_encoded();
+        NoteTableStats(built, &ks);
+      });
+      if (!errs[p].ok()) return;
     } else {
       std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
           built;

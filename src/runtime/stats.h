@@ -80,6 +80,14 @@ struct StageStats {
   uint64_t hash_build_rows = 0;   // rows inserted into keyed hash structures
   uint64_t hash_probe_hits = 0;   // lookups that found an existing key
   uint64_t hash_max_chain = 0;    // max input rows mapped to a single key
+  /// Flat hash-table telemetry (runtime/flat_hash.h): total slot-array +
+  /// arena footprint of the stage's flat tables, slot-array doublings, and
+  /// the longest open-addressing probe sequence. All three are exactly 0
+  /// when ExecOptions::enable_flat_hash is off (the std::unordered_map
+  /// fallback), mirroring how key_encode_bytes is codec-only.
+  uint64_t hash_table_bytes = 0;
+  uint64_t hash_resizes = 0;
+  uint64_t hash_probe_len_max = 0;
   /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
   /// when the injector is disabled). Every non-recovery field above is
   /// bit-identical between a fault-free run and a run whose injected faults
@@ -140,6 +148,11 @@ class JobStats {
     hash_build_rows_ += s.hash_build_rows;
     hash_probe_hits_ += s.hash_probe_hits;
     if (s.hash_max_chain > hash_max_chain_) hash_max_chain_ = s.hash_max_chain;
+    hash_table_bytes_ += s.hash_table_bytes;
+    hash_resizes_ += s.hash_resizes;
+    if (s.hash_probe_len_max > hash_probe_len_max_) {
+      hash_probe_len_max_ = s.hash_probe_len_max;
+    }
     stages_.push_back(std::move(s));
   }
 
@@ -174,6 +187,13 @@ class JobStats {
   uint64_t hash_probe_hits() const { return hash_probe_hits_; }
   /// Worst per-key chain (max over stages of the stage's longest chain).
   uint64_t hash_max_chain() const { return hash_max_chain_; }
+  /// Total flat hash-table footprint built across all stages (0 when
+  /// enable_flat_hash is off).
+  uint64_t hash_table_bytes() const { return hash_table_bytes_; }
+  /// Flat-table slot-array doublings across all stages.
+  uint64_t hash_resizes() const { return hash_resizes_; }
+  /// Longest open-addressing probe sequence any stage saw.
+  uint64_t hash_probe_len_max() const { return hash_probe_len_max_; }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -193,6 +213,9 @@ class JobStats {
     hash_build_rows_ = 0;
     hash_probe_hits_ = 0;
     hash_max_chain_ = 0;
+    hash_table_bytes_ = 0;
+    hash_resizes_ = 0;
+    hash_probe_len_max_ = 0;
   }
 
   std::string ToString() const;
@@ -212,6 +235,9 @@ class JobStats {
   uint64_t hash_build_rows_ = 0;
   uint64_t hash_probe_hits_ = 0;
   uint64_t hash_max_chain_ = 0;
+  uint64_t hash_table_bytes_ = 0;
+  uint64_t hash_resizes_ = 0;
+  uint64_t hash_probe_len_max_ = 0;
 };
 
 }  // namespace runtime

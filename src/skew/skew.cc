@@ -20,13 +20,17 @@ namespace key_codec = runtime::key_codec;
 
 bool HeavyKeySet::IsHeavy(const Row& row, const std::vector<int>& cols) const {
   if (use_codec) {
-    if (encoded.empty()) return false;
+    if (use_flat ? flat.size() == 0 : encoded.empty()) return false;
     // Reusable thread-local scratch buffer: membership tests allocate
     // nothing (the historical path built a KeyView deep copy per probe).
     thread_local key_codec::KeyEncoder scratch;
     auto kv = scratch.Encode(row, cols);
     // A key that cannot encode (bag-typed) was never sampled into the set.
     if (!kv.ok()) return false;
+    if (use_flat) {
+      return flat.Find(kv.value()) !=
+             runtime::flat_hash::FlatKeyIndex::kNotFound;
+    }
     return encoded.find(kv.value()) != encoded.end();
   }
   return keys.count(runtime::ExtractKey(row, cols)) > 0;
@@ -59,6 +63,19 @@ bool KeyColsEncodable(const runtime::Schema& s, const std::vector<int>& cols) {
   return true;
 }
 
+/// Dispatches the encoded sampling loop to its counting-index type (the
+/// keyed-operator WithKeyIndex idiom): the flat table by default, the
+/// node-based map when enable_flat_hash is off.
+template <class T>
+struct IndexTag {
+  using type = T;
+};
+template <class F>
+auto WithCountIndex(bool use_flat, F&& f) {
+  return use_flat ? f(IndexTag<runtime::flat_hash::FlatKeyIndex>{})
+                  : f(IndexTag<runtime::flat_hash::StdKeyIndex>{});
+}
+
 }  // namespace
 
 HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
@@ -68,6 +85,7 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   out.key_cols = key_cols;
   out.use_codec =
       cluster->key_codec_enabled() && KeyColsEncodable(in.schema, key_cols);
+  out.use_flat = out.use_codec && cluster->flat_hash_enabled();
   // Deterministic pseudo-random sampling (hash-selected positions; a fixed
   // stride would alias with cyclic key layouts).
   uint64_t stride = cfg.skew_sample_rate <= 0
@@ -80,55 +98,71 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   key_codec::KeyEncoder enc;  // encodes once per sampled row
   for (size_t p = 0; p < in.partitions.size(); ++p) {
     const auto& part = in.partitions[p];
-    // Per-partition sample frequencies. The count-map maintenance is
-    // identical in both modes (key identity coincides), so the heavy set —
-    // and the build/probe/chain telemetry — are codec-invariant.
-    std::unordered_map<key_codec::EncodedKey, size_t,
-                       key_codec::EncodedKeyHash, key_codec::EncodedKeyEq>
-        enc_counts;
+    // Per-partition sample frequencies. The count maintenance is identical
+    // in every mode (key identity coincides), so the heavy set — and the
+    // build/probe/chain telemetry — are codec- and flat-invariant.
+    auto sample_hit = [&](size_t i) {
+      return Mix64((static_cast<uint64_t>(p) << 32) ^ i ^ cfg.seed) % stride ==
+             0;
+    };
+    size_t sampled = 0;
+    auto cutoff_of = [&] {
+      size_t cutoff = static_cast<size_t>(
+          cfg.heavy_key_threshold * static_cast<double>(sampled));
+      return cutoff < 2 ? size_t{2} : cutoff;
+    };
+    if (out.use_codec) {
+      WithCountIndex(out.use_flat, [&](auto tag) {
+        typename decltype(tag)::type idx;
+        std::vector<size_t> cnt;  // dense index -> sample frequency
+        for (size_t i = 0; i < part.size(); ++i) {
+          if (!sample_hit(i)) continue;
+          ++sampled;
+          stage.rows_in++;
+          auto kv = enc.Encode(part[i], key_cols);
+          if (!kv.ok()) continue;  // unencodable key: never a heavy candidate
+          auto [gi, inserted] = idx.FindOrInsert(kv.value());
+          if (inserted) {
+            cnt.push_back(0);
+            ks.build_rows++;
+          } else {
+            ks.probe_hits++;
+          }
+          if (++cnt[gi] > ks.max_chain) ks.max_chain = cnt[gi];
+        }
+        runtime::flat_hash::NoteTableStats(idx, &ks);
+        if (sampled == 0) return;
+        const size_t cutoff = cutoff_of();
+        for (size_t gi = 0; gi < idx.size(); ++gi) {
+          if (cnt[gi] < cutoff) continue;
+          key_codec::EncodedKeyView k = idx.KeyAt(static_cast<uint32_t>(gi));
+          if (out.use_flat) {
+            out.flat.FindOrInsert(k);
+          } else {
+            out.encoded.insert(key_codec::Materialize(k));
+          }
+        }
+      });
+      continue;
+    }
     std::unordered_map<KeyView, size_t, runtime::KeyViewHash,
                        runtime::KeyViewEq>
         counts;
-    size_t sampled = 0;
     for (size_t i = 0; i < part.size(); ++i) {
-      if (Mix64((static_cast<uint64_t>(p) << 32) ^ i ^ cfg.seed) % stride !=
-          0) {
-        continue;
-      }
+      if (!sample_hit(i)) continue;
       ++sampled;
       stage.rows_in++;
-      size_t c;
-      if (out.use_codec) {
-        auto kv = enc.Encode(part[i], key_cols);
-        if (!kv.ok()) continue;  // unencodable key: never a heavy candidate
-        auto it = enc_counts.find(kv.value());
-        if (it == enc_counts.end()) {
-          it = enc_counts.emplace(key_codec::Materialize(kv.value()), 0)
-                   .first;
-          ks.build_rows++;
-        } else {
-          ks.probe_hits++;
-        }
-        c = ++it->second;
+      auto [it, inserted] =
+          counts.try_emplace(runtime::ExtractKey(part[i], key_cols), 0);
+      if (inserted) {
+        ks.build_rows++;
       } else {
-        auto [it, inserted] =
-            counts.try_emplace(runtime::ExtractKey(part[i], key_cols), 0);
-        if (inserted) {
-          ks.build_rows++;
-        } else {
-          ks.probe_hits++;
-        }
-        c = ++it->second;
+        ks.probe_hits++;
       }
-      if (c > ks.max_chain) ks.max_chain = c;
+      if (++it->second > ks.max_chain) ks.max_chain = it->second;
     }
     if (sampled == 0) continue;
-    size_t cutoff = static_cast<size_t>(
-        cfg.heavy_key_threshold * static_cast<double>(sampled));
-    if (cutoff < 2) cutoff = 2;
-    for (auto& [k, c] : enc_counts) {
-      if (c >= cutoff) out.encoded.insert(k);
-    }
+    const size_t cutoff = cutoff_of();
     for (const auto& [k, c] : counts) {
       if (c >= cutoff) out.keys.insert(k);
     }
@@ -141,6 +175,9 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   stage.hash_build_rows = ks.build_rows;
   stage.hash_probe_hits = ks.probe_hits;
   stage.hash_max_chain = ks.max_chain;
+  stage.hash_table_bytes = ks.table_bytes;
+  stage.hash_resizes = ks.resizes;
+  stage.hash_probe_len_max = ks.probe_len_max;
   stage.shuffle_bytes =
       out.size() * 16 * static_cast<uint64_t>(cluster->num_partitions());
   stage.heavy_key_count = out.size();

@@ -23,6 +23,7 @@
 
 #include "runtime/cluster.h"
 #include "runtime/dataset.h"
+#include "runtime/flat_hash.h"
 #include "runtime/key_codec.h"
 #include "runtime/ops.h"
 #include "util/status.h"
@@ -31,20 +32,28 @@ namespace trance {
 namespace skew {
 
 /// The set of heavy keys of a dataset with respect to some key columns.
-/// Dual storage: with the key codec enabled at detection time the set holds
-/// compact binary keys and IsHeavy probes via a reusable thread-local
-/// scratch encoder (no allocation per probed row); the legacy mode keeps
-/// the historical KeyView set (whose Contains path deep-copies the key per
-/// probe). Membership decisions are identical in both modes.
+/// Storage follows the runtime's keyed-container modes, fixed at detection
+/// time: with the key codec and flat table enabled the set is a
+/// FlatKeyIndex used purely for membership (dense values unused — one arena
+/// holds every heavy key's bytes, probes are memcmp against contiguous
+/// memory); with the codec alone it is the node-based EncodedKey set; the
+/// legacy mode keeps the historical KeyView set (whose Contains path
+/// deep-copies the key per probe). IsHeavy encodes through a reusable
+/// thread-local scratch encoder on both encoded modes. Membership decisions
+/// are identical in all three modes.
 struct HeavyKeySet {
   std::vector<int> key_cols;
   /// Storage mode, fixed at detection time from the cluster's codec flag so
   /// every later probe and copy uses one representation.
   bool use_codec = false;
+  /// Flat-table storage (use_codec && the cluster's flat_hash flag at
+  /// detection time).
+  bool use_flat = false;
+  runtime::flat_hash::FlatKeyIndex flat;
   std::unordered_set<runtime::key_codec::EncodedKey,
                      runtime::key_codec::EncodedKeyHash,
                      runtime::key_codec::EncodedKeyEq>
-      encoded;
+      encoded;  // codec storage (use_codec && !use_flat)
   std::unordered_set<runtime::KeyView, runtime::KeyViewHash,
                      runtime::KeyViewEq>
       keys;  // legacy storage (use_codec == false)
@@ -54,8 +63,14 @@ struct HeavyKeySet {
   bool Contains(const runtime::Row& row, const std::vector<int>& cols) const {
     return IsHeavy(row, cols);
   }
-  bool empty() const { return use_codec ? encoded.empty() : keys.empty(); }
-  size_t size() const { return use_codec ? encoded.size() : keys.size(); }
+  bool empty() const {
+    if (use_flat) return flat.size() == 0;
+    return use_codec ? encoded.empty() : keys.empty();
+  }
+  size_t size() const {
+    if (use_flat) return flat.size();
+    return use_codec ? encoded.size() : keys.size();
+  }
 };
 
 /// A dataset split into light and heavy components. `heavy_keys` is the key
