@@ -122,6 +122,8 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.hash_table_bytes = stats.hash_table_bytes();
   r.hash_resizes = stats.hash_resizes();
   r.hash_probe_len_max = stats.hash_probe_len_max();
+  r.columnar_bytes = stats.columnar_bytes();
+  r.column_to_row_conversions = stats.column_to_row_conversions();
   r.stats = stats;
   r.metrics = cluster->metrics().Snapshot();
   r.ok = st.ok();
@@ -244,6 +246,10 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.hash_resizes);
     w.Key("hash_probe_len_max");
     w.Uint(r.hash_probe_len_max);
+    w.Key("columnar_bytes");
+    w.Uint(r.columnar_bytes);
+    w.Key("column_to_row_conversions");
+    w.Uint(r.column_to_row_conversions);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

@@ -62,6 +62,11 @@ struct RunResult {
   uint64_t hash_table_bytes = 0;
   uint64_t hash_resizes = 0;
   uint64_t hash_probe_len_max = 0;
+  /// Columnar-block telemetry (PR 8): typed partition-block footprint built
+  /// by operators and rows materialized back out of blocks. Both zero when
+  /// ExecOptions::enable_columnar is off. See docs/METRICS.md.
+  uint64_t columnar_bytes = 0;
+  uint64_t column_to_row_conversions = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

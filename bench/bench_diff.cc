@@ -102,6 +102,8 @@ const ScalarRule kScalarRules[] = {
     {"hash_table_bytes", Policy::kExact},
     {"hash_resizes", Policy::kExact},
     {"hash_probe_len_max", Policy::kExact},
+    {"columnar_bytes", Policy::kExact},
+    {"column_to_row_conversions", Policy::kExact},
     {"sim_seconds", Policy::kSimTime},
     {"recovery_sim_seconds", Policy::kSimTime},
     {"wall_seconds", Policy::kWallSoft},

@@ -3,6 +3,13 @@
 // single-threaded, writing BENCH_fig7_smoke.json. The point is not the
 // numbers but that every route executes and the report schema stays in sync
 // with docs/METRICS.md.
+//
+// TRANCE_COLUMNAR=0 disables ExecOptions::enable_columnar (the PR 8 typed
+// partition-block path) and renames the report fig7_smoke_columnar_off, so
+// CI diffs both sides of the ablation against their own baselines.
+#include <cstdlib>
+#include <cstring>
+
 #include "fig7_harness.h"
 
 int main() {
@@ -12,9 +19,15 @@ int main() {
   cfg.scale = 0.001;
   cfg.max_depth = 1;
   cfg.num_threads = 1;
+  const char* columnar = std::getenv("TRANCE_COLUMNAR");
+  std::string report = "fig7_smoke";
+  if (columnar != nullptr && std::strcmp(columnar, "0") == 0) {
+    cfg.enable_columnar = false;
+    report = "fig7_smoke_columnar_off";
+  }
   auto results = trance::bench::RunFig7(cfg);
   TRANCE_CHECK(!results.empty(), "fig7 smoke produced no runs");
-  TRANCE_CHECK(trance::bench::WriteBenchReport("fig7_smoke", results).ok(),
+  TRANCE_CHECK(trance::bench::WriteBenchReport(report, results).ok(),
                "bench report");
   return 0;
 }

@@ -6,16 +6,20 @@
 // The keyed operators (join, nest, dedup) take a second argument toggling
 // ExecOptions::enable_key_codec, the binary-key/legacy-KeyView ablation of
 // PR 5; BM_FlatHashBuild/BM_FlatHashProbe compare the flat open-addressing
-// table against the std::unordered_map fallback directly (PR 7). main()
+// table against the std::unordered_map fallback directly (PR 7);
+// BM_ColumnScan/BM_ColumnProject compare typed PartitionBlock column loops
+// against the historical row-vector Field dispatch (PR 8). main()
 // additionally runs fixed-size rows/sec regression passes over dedup, join
-// build/probe, and nest — codec on/off to BENCH_micro_key_codec.json and
-// flat table on/off to BENCH_micro_flat_hash.json — before the
+// build/probe, and nest — codec on/off to BENCH_micro_key_codec.json, flat
+// table on/off to BENCH_micro_flat_hash.json, and columnar blocks on/off
+// (plus the raw scan comparison) to BENCH_micro_columnar.json — before the
 // google-benchmark suite starts.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "nrc/builder.h"
 #include "runtime/cluster.h"
+#include "runtime/column.h"
 #include "runtime/flat_hash.h"
 #include "runtime/key_codec.h"
 #include "runtime/ops.h"
@@ -290,6 +294,92 @@ BENCHMARK(BM_FlatHashProbe)
     ->Args({100000, 1})
     ->Args({100000, 0});
 
+namespace column = runtime::column;
+
+/// Rows for the row-vs-block column benchmarks: the kv shape (int key,
+/// real value), the layout the typed scan loops target.
+std::vector<Row> MakeScanRows(int64_t n) {
+  Rng rng(9);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Row({Field::Int(rng.UniformRange(0, 1 << 20)),
+                        Field::Real(rng.NextDouble())}));
+  }
+  return rows;
+}
+
+/// Column scan ablation (PR 8): sum the int and real columns of n rows.
+/// arg 1 = 1 scans the PartitionBlock's flat typed arrays; arg 1 = 0 is the
+/// historical row loop with per-cell variant dispatch. The block build is
+/// outside the timed loop (operators amortize it across the whole stage).
+void BM_ColumnScan(benchmark::State& state) {
+  std::vector<Row> rows = MakeScanRows(state.range(0));
+  column::PartitionBlock block =
+      column::PartitionBlock::FromRows(KvSchema(), rows);
+  const bool columnar = state.range(1) != 0;
+  for (auto _ : state) {
+    int64_t isum = 0;
+    double rsum = 0;
+    if (columnar) {
+      const int64_t* ks = block.col(0).ints();
+      const double* vs = block.col(1).reals();
+      for (size_t i = 0; i < block.NumRows(); ++i) {
+        isum += ks[i];
+        rsum += vs[i];
+      }
+    } else {
+      for (const Row& r : rows) {
+        isum += r.fields[0].AsInt();
+        rsum += r.fields[1].AsReal();
+      }
+    }
+    benchmark::DoNotOptimize(isum);
+    benchmark::DoNotOptimize(rsum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnScan)->Args({65536, 1})->Args({65536, 0});
+
+/// Column project ablation (PR 8): copy the (int, real) columns out of a
+/// three-column (int, real, string) input. The block path appends
+/// column-wise (typed array copies, string arena untouched); the row path
+/// copies Fields row-by-row into fresh Rows.
+void BM_ColumnProject(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    rows.push_back(Row({Field::Int(i), Field::Real(rng.NextDouble()),
+                        Field::Str("p" + std::to_string(i % 997))}));
+  }
+  Schema s({{"k", nrc::Type::Int()},
+            {"v", nrc::Type::Real()},
+            {"p", nrc::Type::String()}});
+  column::PartitionBlock block = column::PartitionBlock::FromRows(s, rows);
+  const bool columnar = state.range(1) != 0;
+  for (auto _ : state) {
+    if (columnar) {
+      column::AnyColumn k(column::AnyColumn::Kind::kInt64);
+      column::AnyColumn v(column::AnyColumn::Kind::kReal);
+      for (size_t i = 0; i < block.NumRows(); ++i) {
+        k.AppendFrom(block.col(0), i);
+        v.AppendFrom(block.col(1), i);
+      }
+      benchmark::DoNotOptimize(k.size() + v.size());
+    } else {
+      std::vector<Row> out;
+      out.reserve(rows.size());
+      for (const Row& r : rows) {
+        out.push_back(Row({r.fields[0], r.fields[1]}));
+      }
+      benchmark::DoNotOptimize(out.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnProject)->Args({65536, 1})->Args({65536, 0});
+
 void BM_ValueShred(benchmark::State& state) {
   nrc::Value v = MakeNested(state.range(0), 10, 10);
   nrc::TypePtr t = NestedType();
@@ -424,11 +514,142 @@ Status RunFlatHashAblation() {
   return bench::WriteBenchReport("micro_flat_hash", results);
 }
 
+// Fixed-size regression pass over the same keyed workloads with
+// ExecOptions::enable_columnar toggled — the typed partition-block ablation
+// of PR 8. The columnar_off runs report columnar_bytes /
+// column_to_row_conversions as exactly 0 while every pre-existing counter
+// (rows out, shuffle bytes, simulated time, keyed hash counters) matches the
+// columnar_on runs bit-for-bit; both properties are asserted in-binary
+// below. Two additional runs time a raw 64k-row int/real scan on the block
+// representation vs the historical row loop, so the PR's >= 2x scan target
+// is recorded in BENCH_micro_columnar.json (recorded, not hard-asserted —
+// absolute ratios are machine-dependent).
+Status RunColumnarAblation() {
+  std::vector<bench::RunResult> results;
+  const int64_t n = 200000;
+  for (bool columnar : {true, false}) {
+    ClusterConfig cfg{.num_partitions = 8};
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(true);
+    cluster.set_columnar_enabled(columnar);
+    const std::string suffix = columnar ? ".columnar_on" : ".columnar_off";
+
+    Dataset dup = MakeDup(&cluster, n, n / 16, 6);
+    size_t rows = 0;
+    bench::RunResult r = bench::TimedRun(
+        "distinct" + suffix, &cluster, [&]() -> Status {
+          TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                                  runtime::Distinct(&cluster, dup, "dedup"));
+          rows = out.NumRows();
+          return Status::OK();
+        });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset l = MakeKv(&cluster, n, 1000, 0.0, 1);
+    Dataset d = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+    r = bench::TimedRun("hash_join" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::HashJoin(&cluster, l, d, {0}, {0},
+                                         runtime::JoinType::kInner, "join"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset kv = MakeKv(&cluster, n, 1024, 0.0, 4);
+    r = bench::TimedRun("nest" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::NestGroup(&cluster, kv, {0}, {1}, "bag", "nest"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+  }
+
+  // Stats transparency: run i (columnar on) against run i + 3 (off).
+  for (size_t i = 0; i < 3; ++i) {
+    const bench::RunResult& on = results[i];
+    const bench::RunResult& off = results[i + 3];
+    TRANCE_CHECK(on.ok && off.ok, "columnar ablation run failed");
+    TRANCE_CHECK(on.out_rows == off.out_rows,
+                 "columnar ablation: result rows differ for " + on.name);
+    TRANCE_CHECK(on.shuffle_bytes == off.shuffle_bytes &&
+                     on.max_stage_shuffle == off.max_stage_shuffle &&
+                     on.peak_partition == off.peak_partition,
+                 "columnar ablation: movement stats differ for " + on.name);
+    TRANCE_CHECK(on.sim_s == off.sim_s,
+                 "columnar ablation: sim time differs for " + on.name);
+    TRANCE_CHECK(on.key_encode_bytes == off.key_encode_bytes &&
+                     on.hash_build_rows == off.hash_build_rows &&
+                     on.hash_probe_hits == off.hash_probe_hits &&
+                     on.hash_max_chain == off.hash_max_chain,
+                 "columnar ablation: keyed counters differ for " + on.name);
+    TRANCE_CHECK(on.columnar_bytes > 0,
+                 "columnar ablation: no blocks built in " + on.name);
+    TRANCE_CHECK(off.columnar_bytes == 0 &&
+                     off.column_to_row_conversions == 0,
+                 "columnar ablation: counters leak into " + off.name);
+  }
+
+  // Raw scan comparison (the BM_ColumnScan shape, as recorded runs).
+  {
+    ClusterConfig cfg{.num_partitions = 1};
+    Cluster cluster(cfg);
+    std::vector<Row> rows = MakeScanRows(1 << 16);
+    column::PartitionBlock block =
+        column::PartitionBlock::FromRows(KvSchema(), rows);
+    const int reps = 400;
+    double sink = 0;
+    bench::RunResult r = bench::TimedRun(
+        "column_scan.block", &cluster, [&]() -> Status {
+          for (int rep = 0; rep < reps; ++rep) {
+            int64_t isum = 0;
+            double rsum = 0;
+            const int64_t* ks = block.col(0).ints();
+            const double* vs = block.col(1).reals();
+            for (size_t i = 0; i < block.NumRows(); ++i) {
+              isum += ks[i];
+              rsum += vs[i];
+            }
+            sink += static_cast<double>(isum) + rsum;
+          }
+          return Status::OK();
+        });
+    r.out_rows = rows.size() * reps;
+    results.push_back(std::move(r));
+
+    r = bench::TimedRun("column_scan.rows", &cluster, [&]() -> Status {
+      for (int rep = 0; rep < reps; ++rep) {
+        int64_t isum = 0;
+        double rsum = 0;
+        for (const Row& row : rows) {
+          isum += row.fields[0].AsInt();
+          rsum += row.fields[1].AsReal();
+        }
+        sink += static_cast<double>(isum) + rsum;
+      }
+      return Status::OK();
+    });
+    r.out_rows = rows.size() * reps;
+    results.push_back(std::move(r));
+    benchmark::DoNotOptimize(sink);
+  }
+
+  bench::PrintHeader("columnar ablation (rows/s = rows / wall)");
+  for (const auto& r : results) bench::PrintResult(r);
+  return bench::WriteBenchReport("micro_columnar", results);
+}
+
 }  // namespace trance
 
 int main(int argc, char** argv) {
   TRANCE_CHECK(trance::RunKeyCodecAblation().ok(), "key codec ablation");
   TRANCE_CHECK(trance::RunFlatHashAblation().ok(), "flat hash ablation");
+  TRANCE_CHECK(trance::RunColumnarAblation().ok(), "columnar ablation");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

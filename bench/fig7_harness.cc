@@ -32,6 +32,12 @@ runtime::ClusterConfig MakeClusterConfig(const Fig7Config& cfg) {
   return c;
 }
 
+exec::PipelineOptions OptionsForConfig(Strategy s, const Fig7Config& cfg) {
+  exec::PipelineOptions o = OptionsFor(s);
+  o.exec.enable_columnar = cfg.enable_columnar;
+  return o;
+}
+
 Status RegisterAllTables(exec::Executor* executor, const tpch::TpchData& d) {
   // Flat relations double as their own shredded form (no dictionaries), so
   // both routes find their inputs.
@@ -64,11 +70,15 @@ StatusOr<NestedInput> PrepareNestedInput(const Fig7Config& cfg,
   NestedInput out;
   TRANCE_ASSIGN_OR_RETURN(nrc::Program prep,
                           tpch::FlatToNested(depth, cfg.width));
+  exec::ExecOptions prep_exec;
+  prep_exec.enable_columnar = cfg.enable_columnar;
+  exec::PipelineOptions prep_opts;
+  prep_opts.exec = prep_exec;
   {
     runtime::Cluster cluster(MakeClusterConfig(cfg));
-    exec::Executor executor(&cluster, {});
+    exec::Executor executor(&cluster, prep_exec);
     TRANCE_RETURN_NOT_OK(RegisterAllTables(&executor, data));
-    auto ds = exec::RunStandard(prep, &executor, {});
+    auto ds = exec::RunStandard(prep, &executor, prep_opts);
     if (ds.ok()) {
       out.standard = std::move(ds).value();
     } else {
@@ -77,9 +87,9 @@ StatusOr<NestedInput> PrepareNestedInput(const Fig7Config& cfg,
   }
   {
     runtime::Cluster cluster(MakeClusterConfig(cfg));
-    exec::Executor executor(&cluster, {});
+    exec::Executor executor(&cluster, prep_exec);
     TRANCE_RETURN_NOT_OK(RegisterAllTables(&executor, data));
-    auto run = exec::RunShredded(prep, &executor, {});
+    auto run = exec::RunShredded(prep, &executor, prep_opts);
     if (run.ok()) {
       out.shredded = std::move(run).value();
     } else {
@@ -136,8 +146,9 @@ std::vector<RunResult> RunFig7(const Fig7Config& cfg) {
       for (Strategy s : kStrategies) {
         std::string name = std::string(KindName(kind)) + " d" +
                            std::to_string(depth) + " " + StrategyName(s);
+        const exec::PipelineOptions run_opts = OptionsForConfig(s, cfg);
         runtime::Cluster cluster(MakeClusterConfig(cfg));
-        exec::Executor executor(&cluster, OptionsFor(s).exec);
+        exec::Executor executor(&cluster, run_opts.exec);
         RunResult r;
         // Register inputs (untimed).
         Status setup = RegisterAllTables(&executor, data);
@@ -174,7 +185,7 @@ std::vector<RunResult> RunFig7(const Fig7Config& cfg) {
           if (IsShredded(s)) {
             TRANCE_ASSIGN_OR_RETURN(
                 exec::ShreddedRun run,
-                exec::RunShredded(*program, &executor, OptionsFor(s)));
+                exec::RunShredded(*program, &executor, run_opts));
             if (WantsUnshred(s)) {
               TRANCE_ASSIGN_OR_RETURN(runtime::Dataset nested_out,
                                       exec::UnshredRun(&executor, run));
@@ -186,7 +197,7 @@ std::vector<RunResult> RunFig7(const Fig7Config& cfg) {
           }
           TRANCE_ASSIGN_OR_RETURN(
               runtime::Dataset out,
-              exec::RunStandard(*program, &executor, OptionsFor(s)));
+              exec::RunStandard(*program, &executor, run_opts));
           out_rows = out.NumRows();
           return Status::OK();
         });

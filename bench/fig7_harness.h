@@ -20,6 +20,9 @@ struct Fig7Config {
   int max_depth = 4;
   /// Thread budget forwarded to ClusterConfig::num_threads (0 = auto).
   int num_threads = 0;
+  /// Forwarded to ExecOptions::enable_columnar for every route (PR 8
+  /// ablation hook; results and simulated stats are flag-invariant).
+  bool enable_columnar = true;
 };
 
 /// Runs the whole Figure-7 suite and prints the result table. Returns the

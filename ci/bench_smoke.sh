@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Bench smoke gate: Release-builds the bench binaries, runs one tiny Fig-7
-# pass covering every compilation route (bench_fig7_smoke) plus the
-# key-codec ablation report of bench_micro_ops (its google-benchmark suite
-# filtered out), then runs three machine-readable drift gates:
+# pass covering every compilation route (bench_fig7_smoke) twice — columnar
+# blocks on (default) and off (TRANCE_COLUMNAR=0), each diffed against its
+# own baseline — plus the ablation reports of bench_micro_ops (its
+# google-benchmark suite filtered out), then runs three machine-readable
+# drift gates:
 #
 #   1. docs:     every key in the emitted BENCH_*.json reports AND in the
 #                event-log JSONL must appear in docs/METRICS.md as an exact
@@ -33,6 +35,11 @@ mkdir -p "$OUT_DIR"
 rm -f "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/events.jsonl
 
 TRANCE_BENCH_OUT="$OUT_DIR" TRANCE_EVENT_LOG="$OUT_DIR/events.jsonl" \
+  "$BUILD_DIR/bench/bench_fig7_smoke"
+# Same suite on the historical row path (writes
+# BENCH_fig7_smoke_columnar_off.json): the flag must stay runnable end to
+# end, and its report diffs against its own baseline below.
+TRANCE_BENCH_OUT="$OUT_DIR" TRANCE_COLUMNAR=0 \
   "$BUILD_DIR/bench/bench_fig7_smoke"
 # bench_micro_ops writes BENCH_micro_key_codec.json from its main() before
 # the google-benchmark suite starts; filter every registered benchmark out

@@ -58,6 +58,18 @@ struct ExecOptions {
   /// (hash_table_bytes/hash_resizes/hash_probe_len_max) differ (0 when
   /// off).
   bool enable_flat_hash = true;
+  /// Run partition storage under the operators through the typed columnar
+  /// blocks of runtime/column.h (ColumnVector<T> arrays, string arenas,
+  /// null bitmaps, variant fallback) instead of the historical
+  /// std::vector<Row> path: fused stages scan typed blocks, shuffles move
+  /// columns, and keyed builds reference (block, row-offset) pairs.
+  /// Composes with enable_key_codec / enable_flat_hash (the keyed-build
+  /// block applies on the encoded path only). Escape hatch for ablations:
+  /// rows, placement, shuffle bytes, and all pre-existing stats are
+  /// bit-identical either way (tests/columnar_test.cc); only the
+  /// columnar-only counters (columnar_bytes/column_to_row_conversions)
+  /// differ (0 when off).
+  bool enable_columnar = true;
 };
 
 /// Executes plans against named datasets registered on a cluster.
@@ -69,6 +81,7 @@ class Executor {
     // the skew layer) see it without threading options through every call.
     cluster_->set_key_codec_enabled(options_.enable_key_codec);
     cluster_->set_flat_hash_enabled(options_.enable_flat_hash);
+    cluster_->set_columnar_enabled(options_.enable_columnar);
   }
 
   /// Registers an input (or intermediate) dataset under `name`.

@@ -138,6 +138,20 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t columnar_bytes() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->columnar_bytes;
+    }
+    return n;
+  }
+  uint64_t column_to_row_conversions() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->column_to_row_conversions;
+    }
+    return n;
+  }
   uint64_t injected_faults() const {
     uint64_t n = 0;
     for (const auto& e : entries) {
@@ -216,6 +230,10 @@ std::string StatsSuffix(const NodeStats& ns) {
   }
   if (ns.key_encode_bytes() > 0) {
     os << " key_bytes=" << FormatBytes(ns.key_encode_bytes());
+  }
+  if (ns.columnar_bytes() > 0) {
+    os << " col(blocks=" << FormatBytes(ns.columnar_bytes())
+       << " rowify=" << ns.column_to_row_conversions() << ")";
   }
   if (ns.bytes_avoided() > 0) {
     os << " avoided=" << FormatBytes(ns.bytes_avoided());
@@ -332,6 +350,10 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
   }
   if (stats.key_encode_bytes() > 0) {
     os << " key_bytes=" << FormatBytes(stats.key_encode_bytes());
+  }
+  if (stats.columnar_bytes() > 0) {
+    os << " col(blocks=" << FormatBytes(stats.columnar_bytes())
+       << " rowify=" << stats.column_to_row_conversions() << ")";
   }
   if (stats.injected_faults() > 0) {
     os << " injected_faults=" << stats.injected_faults()

@@ -111,6 +111,12 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("hash_probe_len_max");
       w->Uint(s.hash_probe_len_max);
     }
+    if (s.columnar_bytes > 0 || s.column_to_row_conversions > 0) {
+      w->Key("columnar_bytes");
+      w->Uint(s.columnar_bytes);
+      w->Key("column_to_row_conversions");
+      w->Uint(s.column_to_row_conversions);
+    }
     if (s.injected_faults > 0) {
       w->Key("injected_faults");
       w->Uint(s.injected_faults);
@@ -182,6 +188,10 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->Uint(stats.hash_resizes());
   w->Key("hash_probe_len_max");
   w->Uint(stats.hash_probe_len_max());
+  w->Key("columnar_bytes");
+  w->Uint(stats.columnar_bytes());
+  w->Key("column_to_row_conversions");
+  w->Uint(stats.column_to_row_conversions());
   w->Key("injected_faults");
   w->Uint(stats.injected_faults());
   w->Key("retries");

@@ -94,6 +94,14 @@ void Cluster::PublishStage(size_t stage_index, const StageStats& s) {
                 "longest open-addressing probe sequence")
       ->SetMax(static_cast<double>(s.hash_probe_len_max));
   metrics_
+      .GetCounter("trance_columnar_bytes_total",
+                  "typed partition-block footprint built by operators")
+      ->Add(s.columnar_bytes);
+  metrics_
+      .GetCounter("trance_column_to_row_conversions_total",
+                  "rows materialized out of typed partition blocks")
+      ->Add(s.column_to_row_conversions);
+  metrics_
       .GetGauge("trance_max_stage_shuffle_bytes",
                 "largest single-stage shuffle")
       ->SetMax(static_cast<double>(s.shuffle_bytes));

@@ -191,6 +191,15 @@ class Cluster {
   bool flat_hash_enabled() const { return flat_hash_enabled_; }
   void set_flat_hash_enabled(bool on) { flat_hash_enabled_ = on; }
 
+  /// Whether operators run partitions through typed columnar blocks
+  /// (runtime/column.h, default) or the historical std::vector<Row> path.
+  /// Set by the executor from ExecOptions::enable_columnar; results,
+  /// placement, shuffle bytes, and every pre-existing stat are bit-identical
+  /// either way (tests/columnar_test.cc) — only the columnar-only counters
+  /// (columnar_bytes / column_to_row_conversions) differ (0 when off).
+  bool columnar_enabled() const { return columnar_enabled_; }
+  void set_columnar_enabled(bool on) { columnar_enabled_ = on; }
+
   /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
   /// ANALYZE): stages recorded while a scope is active carry its name.
   void PushScope(std::string scope) {
@@ -216,6 +225,7 @@ class Cluster {
   int num_threads_;
   bool key_codec_enabled_ = true;
   bool flat_hash_enabled_ = true;
+  bool columnar_enabled_ = true;
   FaultInjector injector_;
   obs::MetricRegistry metrics_;
   /// Event-log job tag; mutated by BeginJob from the driver only.

@@ -1,0 +1,227 @@
+// Columnar partition blocks: schema-typed column storage under the operators.
+//
+// A PartitionBlock stores one Dataset partition as typed columns instead of
+// std::vector<Row> of variant Fields: int64/double/uint8 values live in
+// contiguous ColumnVector<T> arrays, strings in a shared char arena with
+// offsets, and label/bag-typed (or type-unstable) cells in a variant fallback
+// column. Every column carries a null bitmap. Blocks are lossless: RowAt /
+// ToRows reproduce the exact Field values that went in, so Field::Hash,
+// Field::DeepSize, RowHashOn, and the key codec observe bit-identical values
+// on both representations — the invariant that keeps results, placement,
+// shuffle bytes, and every pre-existing JobStats field unchanged whether
+// ExecOptions::enable_columnar is on or off.
+//
+// Layout follows the ClickHouse ColumnVector<T> idiom (flat typed arrays, no
+// per-value dispatch on scan) and Thrill's cache-friendly flat item storage.
+#ifndef TRANCE_RUNTIME_COLUMN_H_
+#define TRANCE_RUNTIME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "nrc/type.h"
+#include "runtime/field.h"
+#include "runtime/schema.h"
+#include "util/hash.h"
+
+namespace trance {
+namespace runtime {
+namespace column {
+
+/// Flat typed array; the ClickHouse ColumnVector shape. T is a POD cell type.
+template <typename T>
+class ColumnVector {
+ public:
+  void Append(T v) { data_.push_back(v); }
+  T operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return data_.size(); }
+  const T* data() const { return data_.data(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+  uint64_t ByteFootprint() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T> data_;
+};
+
+/// String column: contiguous char arena + end offsets (offset[i] is the end
+/// of value i; value i spans [offset[i-1], offset[i])).
+class StringColumn {
+ public:
+  void Append(std::string_view s) {
+    chars_.append(s.data(), s.size());
+    offsets_.push_back(chars_.size());
+  }
+  std::string_view At(size_t i) const {
+    uint64_t begin = i == 0 ? 0 : offsets_[i - 1];
+    return std::string_view(chars_.data() + begin, offsets_[i] - begin);
+  }
+  size_t size() const { return offsets_.size(); }
+  uint64_t ByteFootprint() const {
+    return chars_.capacity() + offsets_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  std::string chars_;
+  std::vector<uint64_t> offsets_;
+};
+
+/// Per-column null bitmap, one bit per row, packed into 64-bit words.
+class NullBitmap {
+ public:
+  void Append(bool is_null) {
+    size_t word = size_ / 64;
+    if (word == words_.size()) words_.push_back(0);
+    if (is_null) {
+      words_[word] |= uint64_t{1} << (size_ % 64);
+      any_ = true;
+    }
+    ++size_;
+  }
+  bool IsNull(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  bool any() const { return any_; }
+  size_t size() const { return size_; }
+  uint64_t ByteFootprint() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  bool any_ = false;
+};
+
+/// One schema column in typed form. Scalar int/real/bool/string columns use
+/// the flat representations above; label/bag/date-typed columns — and any
+/// column whose runtime values do not match the declared scalar type — fall
+/// back to a variant column of whole Fields.
+class AnyColumn {
+ public:
+  enum class Kind { kInt64, kReal, kBool, kString, kVariant };
+
+  /// Storage kind for a declared NRC column type. Label, bag, tuple, dict,
+  /// and date columns use the variant fallback.
+  static Kind KindForType(const nrc::TypePtr& type) {
+    if (type == nullptr || !type->is_scalar()) return Kind::kVariant;
+    switch (type->scalar_kind()) {
+      case nrc::ScalarKind::kInt: return Kind::kInt64;
+      case nrc::ScalarKind::kReal: return Kind::kReal;
+      case nrc::ScalarKind::kBool: return Kind::kBool;
+      case nrc::ScalarKind::kString: return Kind::kString;
+      case nrc::ScalarKind::kDate: return Kind::kVariant;
+    }
+    return Kind::kVariant;
+  }
+
+  explicit AnyColumn(Kind kind = Kind::kVariant) : kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+  size_t size() const { return nulls_.size(); }
+
+  /// Appends one cell. NULLs set the bitmap bit and a default value slot; a
+  /// value that does not match the column's typed kind demotes the whole
+  /// column to kVariant first (losslessly), so blocks never reject data.
+  void Append(const Field& f);
+
+  /// Typed-copy append from another column; falls back to Append(At(i)) when
+  /// the kinds differ.
+  void AppendFrom(const AnyColumn& src, size_t i);
+
+  bool IsNull(size_t i) const { return nulls_.IsNull(i); }
+
+  /// Materializes cell i as a Field, bit-identical to the Field appended.
+  Field At(size_t i) const;
+
+  /// Bytes that Field accounting (Field::DeepSize) would charge for cell i.
+  /// Matches field.cc exactly: 8 for null/int/real/bool, 32 + length for
+  /// strings, DeepSize of the stored Field for variant cells.
+  uint64_t CellBytes(size_t i) const;
+
+  /// Field::Hash of cell i without materializing scalar cells.
+  uint64_t CellHash(size_t i) const;
+
+  uint64_t ByteFootprint() const;
+
+  // Typed readers for tight scan loops; valid only for the matching kind.
+  const int64_t* ints() const { return ints_.data(); }
+  const double* reals() const { return reals_.data(); }
+  const uint8_t* bools() const { return bools_.data(); }
+  const StringColumn& strings() const { return strs_; }
+  const NullBitmap& nulls() const { return nulls_; }
+
+ private:
+  void DemoteToVariant();
+
+  Kind kind_;
+  ColumnVector<int64_t> ints_;
+  ColumnVector<double> reals_;
+  ColumnVector<uint8_t> bools_;
+  StringColumn strs_;
+  std::vector<Field> variant_;
+  NullBitmap nulls_;
+  uint64_t variant_bytes_ = 0;  // accumulated DeepSize of variant cells
+};
+
+/// One partition in columnar form. Constructed from a Schema (column kinds
+/// derive from the declared NRC types) and filled row-by-row or from an
+/// existing std::vector<Row>. Rows whose width disagrees with the schema
+/// demote the whole block to a ragged row-vector fallback, so the block is
+/// lossless for any input the row path accepts.
+class PartitionBlock {
+ public:
+  PartitionBlock() = default;
+  explicit PartitionBlock(const Schema& schema);
+
+  static PartitionBlock FromRows(const Schema& schema,
+                                 const std::vector<Row>& rows);
+
+  void AppendRow(const Row& r);
+  /// Column-wise copy of row i of src. Falls back to AppendRow when either
+  /// block is ragged or the widths differ.
+  void AppendRowFrom(const PartitionBlock& src, size_t i);
+
+  size_t NumRows() const { return ragged_mode_ ? ragged_.size() : num_rows_; }
+  size_t NumCols() const { return cols_.size(); }
+
+  /// Materializes row i; bit-identical to the row appended.
+  Row RowAt(size_t i) const;
+  /// Materializes cell (row, col). Valid in ragged mode too.
+  Field FieldAt(size_t row, size_t col) const;
+  bool IsNull(size_t row, size_t col) const;
+
+  std::vector<Row> ToRows() const;
+  void AppendRowsTo(std::vector<Row>* out) const;
+
+  /// Bytes Field accounting charges for row i — identical to
+  /// RowDeepSize(RowAt(i)) without materializing.
+  uint64_t RowBytesAt(size_t i) const;
+  uint64_t TotalRowBytes() const;
+
+  /// RowHashOn(RowAt(i), cols) without materializing scalar cells.
+  uint64_t HashRowOn(size_t i, const std::vector<int>& cols) const;
+
+  /// In-memory footprint of the columnar storage itself (arena capacity, not
+  /// Field accounting); feeds the columnar_bytes counter.
+  uint64_t ByteFootprint() const;
+
+  bool ragged() const { return ragged_mode_; }
+  const AnyColumn& col(size_t i) const { return cols_[i]; }
+
+ private:
+  void DemoteToRagged();
+
+  std::vector<AnyColumn> cols_;
+  size_t num_rows_ = 0;
+  // Fallback for rows whose width disagrees with the schema (width changes
+  // mid-pipeline are legal in the row path, e.g. between fused stage steps).
+  bool ragged_mode_ = false;
+  std::vector<Row> ragged_;
+};
+
+}  // namespace column
+}  // namespace runtime
+}  // namespace trance
+
+#endif  // TRANCE_RUNTIME_COLUMN_H_

@@ -6,8 +6,11 @@
 #define TRANCE_RUNTIME_DATASET_H_
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "runtime/column.h"
 #include "runtime/field.h"
 #include "runtime/schema.h"
 #include "util/thread_pool.h"
@@ -32,9 +35,27 @@ struct Partitioning {
   /// partitioner (RowHashOn) combines per-column hashes commutatively, so a
   /// dataset hashed on {a,b} places every row exactly where hashing on
   /// {b,a} would — a permuted key list needs no re-shuffle.
+  ///
+  /// This runs once per keyed operator, so the common short-key case (≤4
+  /// columns) compares occurrence counts in place — no allocation, no sort.
+  /// Counting (rather than membership tests) keeps duplicate-bearing lists
+  /// correct: {1,1,2} is not a permutation of {1,2,2}.
   bool IsHashOn(const std::vector<int>& cols) const {
     if (kind != Kind::kHash || key_cols.size() != cols.size()) return false;
     if (key_cols == cols) return true;
+    size_t n = cols.size();
+    if (n <= 4) {
+      for (size_t i = 0; i < n; ++i) {
+        int needle = cols[i];
+        int in_cols = 0, in_keys = 0;
+        for (size_t j = 0; j < n; ++j) {
+          in_cols += cols[j] == needle;
+          in_keys += key_cols[j] == needle;
+        }
+        if (in_cols != in_keys) return false;
+      }
+      return true;
+    }
     std::vector<int> a = key_cols;
     std::vector<int> b = cols;
     std::sort(a.begin(), a.end());
@@ -72,14 +93,46 @@ struct Dataset {
     });
     return out;
   }
-  /// All rows gathered into one vector (tests / result collection).
-  std::vector<Row> Collect() const {
-    std::vector<Row> out;
-    out.reserve(NumRows());
-    for (const auto& p : partitions) {
-      out.insert(out.end(), p.begin(), p.end());
+  /// All rows gathered into one vector, in partition order (tests / result
+  /// collection / broadcast). Mirrors PartitionBytes: `num_threads > 1`
+  /// copies partitions concurrently into pre-computed offsets, so the output
+  /// is identical for any thread count.
+  std::vector<Row> Collect(int num_threads = 1) const {
+    std::vector<size_t> offsets(partitions.size() + 1, 0);
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      offsets[i + 1] = offsets[i] + partitions[i].size();
     }
+    std::vector<Row> out(offsets.back());
+    util::ParallelFor(num_threads, partitions.size(), [&](size_t i) {
+      std::copy(partitions[i].begin(), partitions[i].end(),
+                out.begin() + static_cast<ptrdiff_t>(offsets[i]));
+    });
     return out;
+  }
+
+  /// Columnar view of every partition (runtime/column.h blocks), built
+  /// partition-parallel. Lossless: FromBlocks(ToBlocks()) reproduces the
+  /// exact rows.
+  std::vector<column::PartitionBlock> ToBlocks(int num_threads = 1) const {
+    std::vector<column::PartitionBlock> out(partitions.size());
+    util::ParallelFor(num_threads, partitions.size(), [&](size_t i) {
+      out[i] = column::PartitionBlock::FromRows(schema, partitions[i]);
+    });
+    return out;
+  }
+
+  static Dataset FromBlocks(Schema schema,
+                            const std::vector<column::PartitionBlock>& blocks,
+                            Partitioning partitioning = Partitioning::None(),
+                            int num_threads = 1) {
+    Dataset d;
+    d.schema = std::move(schema);
+    d.partitioning = std::move(partitioning);
+    d.partitions.resize(blocks.size());
+    util::ParallelFor(num_threads, blocks.size(), [&](size_t i) {
+      d.partitions[i] = blocks[i].ToRows();
+    });
+    return d;
   }
 };
 

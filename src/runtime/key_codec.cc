@@ -117,6 +117,21 @@ StatusOr<EncodedKeyView> KeyEncoder::EncodeRow(const Row& row) {
   return EncodedKeyView{SplitMix64(h), std::string_view(buf_)};
 }
 
+void KeyEncoder::Begin() {
+  buf_.clear();
+  hash_acc_ = 0x5EED;
+}
+
+Status KeyEncoder::Append(const Field& f) {
+  hash_acc_ += SplitMix64(f.Hash());
+  return EncodeField(f, &buf_);
+}
+
+EncodedKeyView KeyEncoder::Finish() {
+  bytes_encoded_ += buf_.size();
+  return EncodedKeyView{SplitMix64(hash_acc_), std::string_view(buf_)};
+}
+
 uint64_t KeyHashOn(const Row& row, const std::vector<int>& cols) {
   return RowHashOn(row, cols);
 }

@@ -125,12 +125,22 @@ class KeyEncoder {
   /// Encodes every field of the row (full-row key, e.g. dedup).
   StatusOr<EncodedKeyView> EncodeRow(const Row& row);
 
+  /// Incremental per-field API for callers that project keys column-wise
+  /// (runtime/column.h blocks). Begin() resets the scratch buffer,
+  /// Append(field) encodes one key column, Finish() seals and returns the
+  /// view. The byte layout and hash are identical to Encode(row, cols) over
+  /// the same fields in the same order.
+  void Begin();
+  Status Append(const Field& f);
+  EncodedKeyView Finish();
+
   /// Total bytes of all successful encodings since construction/reset.
   uint64_t bytes_encoded() const { return bytes_encoded_; }
   void ResetByteCount() { bytes_encoded_ = 0; }
 
  private:
   std::string buf_;
+  uint64_t hash_acc_ = 0;
   uint64_t bytes_encoded_ = 0;
 };
 

@@ -159,22 +159,56 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
                                      StageStats* stage) {
   const size_t n = static_cast<size_t>(cluster->num_partitions());
   const size_t in_n = in.partitions.size();
+  // Columnar mode moves columns, not rows: the map side packs its partition
+  // into a typed block and routes cells block-to-block (zero Row
+  // materializations map-side); the fetch side materializes rows out of the
+  // received blocks in the same fixed source order the row path uses.
+  // Routing hashes (PartitionBlock::HashRowOn == RowHashOn) and per-row
+  // sizes (RowBytesAt == RowDeepSize) are computed from the identical Field
+  // values, so placement and every movement stat are bit-identical either
+  // way.
+  const bool columnar = cluster->columnar_enabled();
 
   struct SourceBuckets {
-    std::vector<std::vector<Row>> rows;  // [target]
+    std::vector<std::vector<Row>> rows;  // [target] (row mode)
+    std::vector<column::PartitionBlock> blocks;  // [target] (columnar mode)
     std::vector<uint64_t> bytes;         // [target] all routed bytes
     std::vector<uint64_t> moved;         // [target] bytes that changed partition
     uint64_t sent = 0;                   // total bytes leaving this partition
     uint64_t moved_rows = 0;             // rows that changed partition
   };
   std::vector<SourceBuckets> buckets(in_n);
+  std::vector<uint64_t> map_col_bytes(in_n, 0);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       stage->op + ".shuffle_map", in_n, stage,
       [&](size_t p) {
         SourceBuckets& b = buckets[p];
-        b.rows.resize(n);
         b.bytes.assign(n, 0);
         b.moved.assign(n, 0);
+        if (columnar) {
+          column::PartitionBlock in_block =
+              column::PartitionBlock::FromRows(in.schema, in.partitions[p]);
+          b.blocks.assign(n, column::PartitionBlock(in.schema));
+          const size_t rows = in_block.NumRows();
+          for (size_t i = 0; i < rows; ++i) {
+            size_t target = static_cast<size_t>(
+                cluster->PartitionOf(in_block.HashRowOn(i, key_cols)));
+            uint64_t sz = in_block.RowBytesAt(i);
+            b.bytes[target] += sz;
+            if (target != p) {
+              b.moved[target] += sz;
+              b.sent += sz;
+              ++b.moved_rows;
+            }
+            b.blocks[target].AppendRowFrom(in_block, i);
+          }
+          map_col_bytes[p] += in_block.ByteFootprint();
+          for (const auto& tb : b.blocks) {
+            map_col_bytes[p] += tb.ByteFootprint();
+          }
+          return;
+        }
+        b.rows.resize(n);
         for (const auto& row : in.partitions[p]) {
           // key_codec::KeyHashOn is the codec's key hash and is identical to
           // RowHashOn, so shuffle routing never depends on the codec mode.
@@ -190,7 +224,10 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
           b.rows[target].push_back(row);
         }
       },
-      [&](size_t p) { buckets[p] = SourceBuckets{}; }));
+      [&](size_t p) {
+        buckets[p] = SourceBuckets{};
+        map_col_bytes[p] = 0;
+      }));
 
   std::vector<uint64_t> recv(n, 0);
   std::vector<uint64_t> send(std::max(in_n, n), 0);
@@ -207,9 +244,24 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
   ShuffledParts out;
   out.parts.resize(n);
   out.bytes.assign(n, 0);
+  std::vector<uint64_t> fetch_rowify(n, 0);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       stage->op + ".shuffle_fetch", n, stage,
       [&](size_t t) {
+        if (columnar) {
+          size_t total = 0;
+          for (size_t p = 0; p < in_n; ++p) {
+            total += buckets[p].blocks[t].NumRows();
+          }
+          out.parts[t].reserve(total);
+          for (size_t p = 0; p < in_n; ++p) {
+            const auto& src = buckets[p].blocks[t];
+            src.AppendRowsTo(&out.parts[t]);
+            fetch_rowify[t] += src.NumRows();
+            out.bytes[t] += buckets[p].bytes[t];
+          }
+          return;
+        }
         size_t total = 0;
         for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
         out.parts[t].reserve(total);
@@ -222,6 +274,8 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
         }
       },
       nullptr));
+  for (uint64_t b : map_col_bytes) stage->columnar_bytes += b;
+  for (uint64_t r : fetch_rowify) stage->column_to_row_conversions += r;
 
   for (uint64_t b : recv) {
     if (b > stage->max_partition_recv_bytes) {
@@ -301,20 +355,30 @@ bool HasNullKey(const Row& r, const std::vector<int>& cols) {
   return false;
 }
 
-/// Partition-local hash join of two row lists. `right_width` is the right
-/// schema's width (an empty right partition must still NULL-pad fully).
-/// Writes the deep-size footprint of the rows it appended to *out_bytes and
-/// the keyed-phase telemetry into *ks. On the encoded modes the build table
-/// is keyed by compact binary keys (one arena append per distinct key, no
-/// per-probe allocation); kLegacy runs the historical KeyView containers.
-/// All paths count build/probe/chain identically — key identity coincides,
-/// so the counters are mode-invariant.
+/// Partition-local hash join of two row lists. `right_schema` supplies the
+/// right width (an empty right partition must still NULL-pad fully) and, in
+/// columnar mode, the build block's column types. Writes the deep-size
+/// footprint of the rows it appended to *out_bytes and the keyed-phase
+/// telemetry into *ks. On the encoded modes the build table is keyed by
+/// compact binary keys (one arena append per distinct key, no per-probe
+/// allocation); kLegacy runs the historical KeyView containers. When
+/// `columnar` is set (and the mode is encoded — the legacy path has no
+/// block form), the build side is packed into a typed PartitionBlock, keys
+/// are encoded column-wise, and the key index references row offsets into
+/// the block instead of materialized Row pointers; matches materialize rows
+/// out of the block (counted into *rowify, footprint into *col_bytes). All
+/// paths count build/probe/chain identically — key identity coincides, so
+/// the counters are mode-invariant.
 Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
                  const std::vector<int>& lk, const std::vector<int>& rk,
-                 JoinType type, size_t right_width, KeyedMode mode,
-                 std::vector<Row>* out, uint64_t* out_bytes,
+                 JoinType type, const Schema& right_schema, bool columnar,
+                 KeyedMode mode, std::vector<Row>* out, uint64_t* out_bytes,
+                 uint64_t* col_bytes, uint64_t* rowify,
                  key_codec::KeyStats* ks) {
   *out_bytes = 0;
+  *col_bytes = 0;
+  *rowify = 0;
+  const size_t right_width = right_schema.size();
   auto emit_matches = [&](const Row& l, const std::vector<const Row*>& rows) {
     for (const Row* r : rows) {
       out->push_back(ConcatRows(l, *r));
@@ -327,6 +391,65 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
       *out_bytes += RowDeepSize(out->back());
     }
   };
+  if (mode != KeyedMode::kLegacy && columnar) {
+    return WithKeyIndex(mode, [&](auto tag) -> Status {
+      typename decltype(tag)::type built(right.size());
+      column::PartitionBlock rb =
+          column::PartitionBlock::FromRows(right_schema, right);
+      *col_bytes += rb.ByteFootprint();
+      // Dense per-key chains of row offsets into the block — the flat table
+      // references (block, row-offset) pairs, never materialized Rows.
+      std::vector<std::vector<uint32_t>> chains;
+      chains.reserve(right.size());
+      key_codec::KeyEncoder enc;
+      const size_t rn = rb.NumRows();
+      for (size_t i = 0; i < rn; ++i) {
+        bool null_key = false;
+        for (int c : rk) {
+          if (rb.IsNull(i, static_cast<size_t>(c))) {
+            null_key = true;
+            break;
+          }
+        }
+        if (null_key) continue;
+        enc.Begin();
+        for (int c : rk) {
+          TRANCE_RETURN_NOT_OK(enc.Append(rb.FieldAt(i, static_cast<size_t>(c))));
+        }
+        auto [gi, inserted] = built.FindOrInsert(enc.Finish());
+        if (inserted) {
+          chains.emplace_back();
+          ks->build_rows++;
+        } else {
+          ks->probe_hits++;
+        }
+        chains[gi].push_back(static_cast<uint32_t>(i));
+        if (chains[gi].size() > ks->max_chain) ks->max_chain = chains[gi].size();
+      }
+      for (const auto& l : left) {
+        bool matched = false;
+        if (!HasNullKey(l, lk)) {
+          TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
+                                  enc.Encode(l, lk));
+          uint32_t gi = built.Find(k);
+          if (gi != decltype(built)::kNotFound) {
+            matched = true;
+            ks->probe_hits++;
+            for (uint32_t ri : chains[gi]) {
+              Row r = rb.RowAt(ri);
+              ++*rowify;
+              out->push_back(ConcatRows(l, r));
+              *out_bytes += RowDeepSize(out->back());
+            }
+          }
+        }
+        if (!matched) emit_miss(l);
+      }
+      ks->encode_bytes += enc.bytes_encoded();
+      NoteTableStats(built, ks);
+      return Status::OK();
+    });
+  }
   if (mode != KeyedMode::kLegacy) {
     return WithKeyIndex(mode, [&](auto tag) -> Status {
       typename decltype(tag)::type built(right.size());
@@ -510,20 +633,25 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
                                 KeyColsEncodable(right.schema, right_keys));
+  const bool columnar = cluster->columnar_enabled();
   std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> rowify(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
         errs[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
-                            type, right.schema.size(), mode,
-                            &out.partitions[p], &out_bytes[p],
-                            &kmeter.slot(p));
+                            type, right.schema, columnar, mode,
+                            &out.partitions[p], &out_bytes[p], &col_bytes[p],
+                            &rowify[p], &kmeter.slot(p));
         work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
       },
       [&](size_t p) {
         out.partitions[p].clear();
         out_bytes[p] = 0;
+        col_bytes[p] = 0;
+        rowify[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -531,6 +659,8 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -547,7 +677,7 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   stage.rows_in = left.NumRows() + right.NumRows();
   // The broadcast replicates the right side to every partition. One parallel
   // sizing pass covers the movement accounting and the send histogram.
-  std::vector<Row> bcast = right.Collect();
+  std::vector<Row> bcast = right.Collect(cluster->num_threads());
   std::vector<uint64_t> right_bytes =
       right.PartitionBytes(cluster->num_threads());
   uint64_t bcast_bytes = 0;
@@ -598,20 +728,27 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
                                 KeyColsEncodable(right.schema, right_keys));
   std::vector<uint64_t> left_bytes =
       left.PartitionBytes(cluster->num_threads());
+  const bool columnar = cluster->columnar_enabled();
   std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> rowify(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
+        // Columnar mode packs the broadcast rows into a typed block per
+        // receiving partition inside LocalJoin (each pack is counted).
         errs[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
-                            type, right.schema.size(), mode,
-                            &out.partitions[p], &out_bytes[p],
-                            &kmeter.slot(p));
+                            type, right.schema, columnar, mode,
+                            &out.partitions[p], &out_bytes[p], &col_bytes[p],
+                            &rowify[p], &kmeter.slot(p));
         work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
       },
       [&](size_t p) {
         out.partitions[p].clear();
         out_bytes[p] = 0;
+        col_bytes[p] = 0;
+        rowify[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -619,6 +756,8 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
   // Left rows did not move: the left guarantee (if any) is preserved.
   out.partitioning = left.partitioning;
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -1125,6 +1264,9 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   // operator down the legacy path (bag keys compare structurally there).
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(in.schema, all_cols));
+  const bool columnar = cluster->columnar_enabled();
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> rowify(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
@@ -1134,7 +1276,59 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
           out_bytes[p] += RowDeepSize(row);
           out.partitions[p].push_back(row);
         };
-        if (mode != KeyedMode::kLegacy) {
+        if (mode != KeyedMode::kLegacy && columnar) {
+          // Columnar dedup: pack the partition into a typed block, encode
+          // membership keys column-wise, and materialize only the first
+          // occurrence of each key back into a row. The encoded bytes match
+          // EncodeRow over the same fields, so all key counters are
+          // mode-invariant.
+          column::PartitionBlock blk =
+              column::PartitionBlock::FromRows(in.schema, sp.parts[p]);
+          col_bytes[p] += blk.ByteFootprint();
+          WithKeyIndex(mode, [&](auto tag) {
+            typename decltype(tag)::type seen;
+            std::vector<uint64_t> counts;
+            key_codec::KeyEncoder enc;
+            const size_t rows = blk.NumRows();
+            for (size_t i = 0; i < rows; ++i) {
+              key_codec::EncodedKeyView kv;
+              if (!blk.ragged()) {
+                enc.Begin();
+                Status st;
+                for (size_t c = 0; c < blk.NumCols() && st.ok(); ++c) {
+                  st = enc.Append(blk.FieldAt(i, c));
+                }
+                if (!st.ok()) {
+                  errs[p] = st;
+                  return;
+                }
+                kv = enc.Finish();
+              } else {
+                auto st = enc.EncodeRow(blk.RowAt(i));
+                if (!st.ok()) {
+                  errs[p] = st.status();
+                  return;
+                }
+                kv = st.value();
+              }
+              auto [gi, inserted] = seen.FindOrInsert(kv);
+              if (inserted) {
+                counts.push_back(1);
+                ks.build_rows++;
+                if (ks.max_chain < 1) ks.max_chain = 1;
+                out_bytes[p] += blk.RowBytesAt(i);
+                out.partitions[p].push_back(blk.RowAt(i));
+                ++rowify[p];
+              } else {
+                ks.probe_hits++;
+                if (++counts[gi] > ks.max_chain) ks.max_chain = counts[gi];
+              }
+            }
+            ks.encode_bytes += enc.bytes_encoded();
+            NoteTableStats(seen, &ks);
+          });
+          if (!errs[p].ok()) return;
+        } else if (mode != KeyedMode::kLegacy) {
           // The membership test encodes into the task's scratch buffer and
           // probes without materializing — the fix for the historical
           // full-row KeyView deep copy per test. Per-key duplicate counts
@@ -1183,6 +1377,8 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
       [&](size_t p) {
         out.partitions[p].clear();
         out_bytes[p] = 0;
+        col_bytes[p] = 0;
+        rowify[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -1190,6 +1386,8 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(std::move(all_cols));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));

@@ -128,8 +128,18 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
   std::vector<uint64_t> rows_in(nparts, 0);
   std::vector<uint64_t> out_bytes(nparts, 0);
   std::vector<uint64_t> avoided(nparts, 0);
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> rowify(nparts, 0);
   std::vector<std::vector<uint64_t>> transform_rows(
       nparts, std::vector<uint64_t>(len, 0));
+
+  // Columnar mode packs each input partition into a typed block and scans
+  // it, collecting emitted rows into an output block that is materialized
+  // once at the end of the task. Blocks are lossless, and all work/byte
+  // charges are computed from the identical Field values, so every
+  // pre-existing stat matches the row path bit-for-bit; only the new
+  // columnar_bytes / column_to_row_conversions counters observe the mode.
+  const bool columnar = cluster->columnar_enabled();
 
   auto task = [&](size_t p) {
     // Per-partition id counters reproduce the standalone operators' uid
@@ -139,6 +149,7 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
     std::vector<int64_t> uid(len, 0);
     std::vector<Row>& sink = out.partitions[p];
     std::vector<uint64_t>& t_rows = transform_rows[p];
+    column::PartitionBlock out_block(out.schema);
 
     std::function<void(size_t, const Row&)> feed = [&](size_t i,
                                                        const Row& row) {
@@ -149,7 +160,11 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
           uint64_t sz = RowDeepSize(r);
           out_bytes[p] += sz;
           if (charge_final) work[p] += sz;
-          sink.push_back(std::move(r));
+          if (columnar) {
+            out_block.AppendRow(r);
+          } else {
+            sink.push_back(std::move(r));
+          }
         } else {
           avoided[p] += RowDeepSize(r);
           feed(i + 1, r);
@@ -222,9 +237,25 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
     };
 
     rows_in[p] = in.partitions[p].size();
-    for (const auto& row : in.partitions[p]) {
-      if (charge_input) work[p] += RowDeepSize(row);
-      feed(0, row);
+    if (columnar) {
+      column::PartitionBlock in_block =
+          column::PartitionBlock::FromRows(in.schema, in.partitions[p]);
+      col_bytes[p] += in_block.ByteFootprint();
+      size_t n = in_block.NumRows();
+      for (size_t i = 0; i < n; ++i) {
+        Row row = in_block.RowAt(i);
+        ++rowify[p];
+        if (charge_input) work[p] += RowDeepSize(row);
+        feed(0, row);
+      }
+      col_bytes[p] += out_block.ByteFootprint();
+      rowify[p] += out_block.NumRows();
+      out_block.AppendRowsTo(&sink);
+    } else {
+      for (const auto& row : in.partitions[p]) {
+        if (charge_input) work[p] += RowDeepSize(row);
+        feed(0, row);
+      }
     }
   };
 
@@ -240,6 +271,8 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
         rows_in[p] = 0;
         out_bytes[p] = 0;
         avoided[p] = 0;
+        col_bytes[p] = 0;
+        rowify[p] = 0;
         transform_rows[p].assign(len, 0);
       }));
 
@@ -257,6 +290,8 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
     stage.partition_work_bytes = std::move(work);
   }
   for (uint64_t b : avoided) stage.intermediate_bytes_avoided += b;
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t n : rowify) stage.column_to_row_conversions += n;
   if (len > 1) {
     stage.fused_transforms.resize(len);
     for (size_t i = 0; i < len; ++i) {

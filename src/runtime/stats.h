@@ -88,6 +88,14 @@ struct StageStats {
   uint64_t hash_table_bytes = 0;
   uint64_t hash_resizes = 0;
   uint64_t hash_probe_len_max = 0;
+  /// Columnar-block telemetry (runtime/column.h): footprint of the typed
+  /// partition blocks this stage built, and rows it materialized back out of
+  /// blocks as Row values. Both are exactly 0 when
+  /// ExecOptions::enable_columnar is off (the historical row path), like
+  /// hash_table_bytes with flat hash off; every pre-existing field is
+  /// bit-identical either way.
+  uint64_t columnar_bytes = 0;
+  uint64_t column_to_row_conversions = 0;
   /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
   /// when the injector is disabled). Every non-recovery field above is
   /// bit-identical between a fault-free run and a run whose injected faults
@@ -153,6 +161,8 @@ class JobStats {
     if (s.hash_probe_len_max > hash_probe_len_max_) {
       hash_probe_len_max_ = s.hash_probe_len_max;
     }
+    columnar_bytes_ += s.columnar_bytes;
+    column_to_row_conversions_ += s.column_to_row_conversions;
     stages_.push_back(std::move(s));
   }
 
@@ -194,6 +204,12 @@ class JobStats {
   uint64_t hash_resizes() const { return hash_resizes_; }
   /// Longest open-addressing probe sequence any stage saw.
   uint64_t hash_probe_len_max() const { return hash_probe_len_max_; }
+  /// Total typed-block footprint operators built (0 when columnar is off).
+  uint64_t columnar_bytes() const { return columnar_bytes_; }
+  /// Rows materialized back out of typed blocks (0 when columnar is off).
+  uint64_t column_to_row_conversions() const {
+    return column_to_row_conversions_;
+  }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -216,6 +232,8 @@ class JobStats {
     hash_table_bytes_ = 0;
     hash_resizes_ = 0;
     hash_probe_len_max_ = 0;
+    columnar_bytes_ = 0;
+    column_to_row_conversions_ = 0;
   }
 
   std::string ToString() const;
@@ -238,6 +256,8 @@ class JobStats {
   uint64_t hash_table_bytes_ = 0;
   uint64_t hash_resizes_ = 0;
   uint64_t hash_probe_len_max_ = 0;
+  uint64_t columnar_bytes_ = 0;
+  uint64_t column_to_row_conversions_ = 0;
 };
 
 }  // namespace runtime

@@ -1,0 +1,357 @@
+// Columnar partition-block tests (ctest label `columnar`).
+//
+// Part 1 — randomized round-trip property: rows drawn over every Field kind
+// (ints, reals including -0.0, bools, strings of odd lengths, NULLs,
+// labels, nested bags, plus deliberate type-mismatches that demote a typed
+// column to the variant fallback) survive FromRows -> RowAt / ToRows
+// byte-identically, and the block's accounting mirrors the row path
+// exactly: CellHash == Field::Hash, CellBytes == Field::DeepSize,
+// RowBytesAt == RowDeepSize, HashRowOn == RowHashOn. Width-changing rows
+// demote the block to the ragged fallback without losing anything.
+//
+// Part 2 — the satellite APIs: the column-wise KeyEncoder
+// Begin/Append/Finish produces byte- and hash-identical keys to
+// Encode(row, cols); Schema::FromBagType rejects null and non-bag types
+// with its documented TypeError and Schema::Require names the missing
+// column and the schema; Partitioning::IsHashOn handles permutations and
+// duplicate column lists on both the small (alloc-free) and large (sorted)
+// paths; Dataset::Collect and ToBlocks/FromBlocks are thread-count
+// invariant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/column.h"
+#include "runtime/dataset.h"
+#include "runtime/field.h"
+#include "runtime/key_codec.h"
+#include "runtime/schema.h"
+#include "util/random.h"
+
+namespace trance {
+namespace {
+
+using runtime::Dataset;
+using runtime::Field;
+using runtime::Partitioning;
+using runtime::Row;
+using runtime::Schema;
+using runtime::column::AnyColumn;
+using runtime::column::PartitionBlock;
+namespace key_codec = runtime::key_codec;
+
+Schema MixedSchema() {
+  return Schema({{"i", nrc::Type::Int()},
+                 {"r", nrc::Type::Real()},
+                 {"b", nrc::Type::Bool()},
+                 {"s", nrc::Type::String()},
+                 {"g", nrc::Type::Bag(nrc::Type::Tuple(
+                           {{"x", nrc::Type::Int()}}))}});
+}
+
+/// A random field for column `col` of MixedSchema: mostly type-matching,
+/// sometimes NULL, sometimes deliberately mismatched (forcing the variant
+/// demotion path), including the hash edge cases (-0.0, empty strings).
+Field RandomField(Rng* rng, size_t col) {
+  if (rng->NextBool(0.15)) return Field::Null();
+  if (rng->NextBool(0.1)) {
+    // Type-unstable cell: legal in the row path, must demote losslessly.
+    return Field::Str("stray-" + std::to_string(rng->Uniform(5)));
+  }
+  switch (col) {
+    case 0:
+      return Field::Int(static_cast<int64_t>(rng->NextU64()));
+    case 1:
+      if (rng->NextBool(0.1)) return Field::Real(-0.0);
+      return Field::Real(rng->UniformReal(-1e6, 1e6));
+    case 2:
+      return Field::Bool(rng->NextBool());
+    case 3:
+      return Field::Str(rng->NextString(rng->Uniform(23)));
+    default: {
+      std::vector<Row> bag;
+      for (uint64_t i = 0, n = rng->Uniform(3); i < n; ++i) {
+        bag.push_back(Row({Field::Int(rng->UniformRange(0, 9))}));
+      }
+      return Field::Bag(std::move(bag));
+    }
+  }
+}
+
+std::vector<Row> RandomRows(Rng* rng, size_t n, size_t width) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Field> fields;
+    for (size_t c = 0; c < width; ++c) fields.push_back(RandomField(rng, c));
+    rows.push_back(Row(std::move(fields)));
+  }
+  return rows;
+}
+
+void ExpectRowsEqual(const std::vector<Row>& a, const std::vector<Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].fields.size(), b[i].fields.size()) << "row " << i;
+    for (size_t f = 0; f < a[i].fields.size(); ++f) {
+      EXPECT_EQ(a[i].fields[f], b[i].fields[f]) << "row " << i << " field "
+                                                << f;
+    }
+  }
+}
+
+// --- Part 1: round-trip and accounting equivalence -----------------------
+
+TEST(ColumnBlockTest, RandomizedRoundTripAndAccounting) {
+  Schema schema = MixedSchema();
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<Row> rows = RandomRows(&rng, 500, schema.size());
+    PartitionBlock block = PartitionBlock::FromRows(schema, rows);
+    ASSERT_EQ(block.NumRows(), rows.size());
+    EXPECT_FALSE(block.ragged());
+
+    ExpectRowsEqual(block.ToRows(), rows);
+    const std::vector<int> all_cols{0, 1, 2, 3, 4};
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Row back = block.RowAt(i);
+      ASSERT_EQ(back.fields.size(), rows[i].fields.size()) << "row " << i;
+      for (size_t c = 0; c < rows[i].fields.size(); ++c) {
+        const Field& want = rows[i].fields[c];
+        EXPECT_EQ(block.FieldAt(i, c), want) << "row " << i << " col " << c;
+        EXPECT_EQ(block.IsNull(i, c), want.is_null());
+        EXPECT_EQ(block.col(c).CellHash(i), want.Hash())
+            << "row " << i << " col " << c;
+        EXPECT_EQ(block.col(c).CellBytes(i), want.DeepSize())
+            << "row " << i << " col " << c;
+      }
+      EXPECT_EQ(block.RowBytesAt(i), runtime::RowDeepSize(rows[i]));
+      EXPECT_EQ(block.HashRowOn(i, all_cols),
+                runtime::RowHashOn(rows[i], all_cols));
+      EXPECT_EQ(block.HashRowOn(i, {3, 0}),
+                runtime::RowHashOn(rows[i], {3, 0}));
+    }
+  }
+}
+
+TEST(ColumnBlockTest, TypedColumnsUseFlatStorage) {
+  Schema schema({{"k", nrc::Type::Int()}, {"v", nrc::Type::Real()}});
+  PartitionBlock block(schema);
+  for (int64_t i = 0; i < 100; ++i) {
+    block.AppendRow(Row({Field::Int(i), Field::Real(i * 0.5)}));
+  }
+  ASSERT_EQ(block.col(0).kind(), AnyColumn::Kind::kInt64);
+  ASSERT_EQ(block.col(1).kind(), AnyColumn::Kind::kReal);
+  const int64_t* ks = block.col(0).ints();
+  const double* vs = block.col(1).reals();
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ks[i], i);
+    EXPECT_EQ(vs[i], i * 0.5);
+  }
+  EXPECT_GT(block.ByteFootprint(), 0u);
+}
+
+TEST(ColumnBlockTest, TypeMismatchDemotesToVariantLosslessly) {
+  Schema schema({{"k", nrc::Type::Int()}});
+  PartitionBlock block(schema);
+  block.AppendRow(Row({Field::Int(1)}));
+  block.AppendRow(Row({Field::Int(2)}));
+  ASSERT_EQ(block.col(0).kind(), AnyColumn::Kind::kInt64);
+  block.AppendRow(Row({Field::Str("not an int")}));
+  EXPECT_EQ(block.col(0).kind(), AnyColumn::Kind::kVariant);
+  EXPECT_EQ(block.FieldAt(0, 0), Field::Int(1));
+  EXPECT_EQ(block.FieldAt(1, 0), Field::Int(2));
+  EXPECT_EQ(block.FieldAt(2, 0), Field::Str("not an int"));
+}
+
+TEST(ColumnBlockTest, WidthMismatchDemotesToRaggedLosslessly) {
+  Schema schema({{"a", nrc::Type::Int()}, {"b", nrc::Type::Int()}});
+  std::vector<Row> rows;
+  rows.push_back(Row({Field::Int(1), Field::Int(2)}));
+  rows.push_back(Row({Field::Int(3)}));  // width change mid-pipeline
+  rows.push_back(Row({Field::Int(4), Field::Int(5), Field::Int(6)}));
+  PartitionBlock block = PartitionBlock::FromRows(schema, rows);
+  EXPECT_TRUE(block.ragged());
+  ExpectRowsEqual(block.ToRows(), rows);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(block.RowBytesAt(i), runtime::RowDeepSize(rows[i]));
+    EXPECT_EQ(block.HashRowOn(i, {0}), runtime::RowHashOn(rows[i], {0}));
+  }
+}
+
+TEST(ColumnBlockTest, AppendRowFromMatchesAppendRow) {
+  Schema schema = MixedSchema();
+  Rng rng(77);
+  std::vector<Row> rows = RandomRows(&rng, 200, schema.size());
+  PartitionBlock src = PartitionBlock::FromRows(schema, rows);
+  PartitionBlock via_copy(schema);
+  PartitionBlock via_rows(schema);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    via_copy.AppendRowFrom(src, i);
+    via_rows.AppendRow(rows[i]);
+  }
+  ExpectRowsEqual(via_copy.ToRows(), rows);
+  ExpectRowsEqual(via_rows.ToRows(), rows);
+  EXPECT_EQ(via_copy.TotalRowBytes(), via_rows.TotalRowBytes());
+}
+
+TEST(ColumnBlockTest, NullBitmapTracksNulls) {
+  Schema schema({{"s", nrc::Type::String()}});
+  PartitionBlock block(schema);
+  block.AppendRow(Row({Field::Str("x")}));
+  block.AppendRow(Row({Field::Null()}));
+  block.AppendRow(Row({Field::Str("")}));
+  EXPECT_FALSE(block.IsNull(0, 0));
+  EXPECT_TRUE(block.IsNull(1, 0));
+  EXPECT_FALSE(block.IsNull(2, 0));
+  EXPECT_EQ(block.FieldAt(1, 0), Field::Null());
+  EXPECT_EQ(block.col(0).CellHash(1), Field::Null().Hash());
+  EXPECT_EQ(block.col(0).CellBytes(1), Field::Null().DeepSize());
+}
+
+// --- Part 2: satellite APIs ----------------------------------------------
+
+TEST(KeyEncoderColumnTest, IncrementalMatchesEncode) {
+  Schema schema = MixedSchema();
+  Rng rng(99);
+  // Keys over the scalar columns only (bags are rejected by the codec).
+  const std::vector<int> cols{0, 1, 2, 3};
+  std::vector<Row> rows = RandomRows(&rng, 300, schema.size());
+  key_codec::KeyEncoder whole;
+  key_codec::KeyEncoder incremental;
+  for (const Row& r : rows) {
+    bool has_bag = false;
+    for (int c : cols) has_bag |= r.fields[c].is_bag();
+    if (has_bag) continue;
+    auto want = whole.Encode(r, cols);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    key_codec::EncodedKey expected = key_codec::Materialize(*want);
+    incremental.Begin();
+    for (int c : cols) {
+      ASSERT_TRUE(incremental.Append(r.fields[c]).ok());
+    }
+    key_codec::EncodedKeyView got = incremental.Finish();
+    EXPECT_EQ(got.hash, expected.hash);
+    EXPECT_EQ(std::string(got.bytes), expected.bytes);
+  }
+  // Byte accounting matches too: both encoders saw the same keys.
+  EXPECT_EQ(incremental.bytes_encoded(), whole.bytes_encoded());
+}
+
+TEST(SchemaTest, FromBagTypeRejectsNullAndNonBag) {
+  auto null_result = Schema::FromBagType(nullptr);
+  ASSERT_FALSE(null_result.ok());
+  EXPECT_NE(null_result.status().ToString().find(
+                "Schema::FromBagType: not a bag type"),
+            std::string::npos)
+      << null_result.status().ToString();
+
+  auto scalar_result = Schema::FromBagType(nrc::Type::Int());
+  ASSERT_FALSE(scalar_result.ok());
+  EXPECT_NE(scalar_result.status().ToString().find(
+                "Schema::FromBagType: not a bag type"),
+            std::string::npos)
+      << scalar_result.status().ToString();
+
+  auto tuple_result =
+      Schema::FromBagType(nrc::Type::Tuple({{"a", nrc::Type::Int()}}));
+  ASSERT_FALSE(tuple_result.ok());
+
+  // Bag of scalars is accepted as the single anonymous "_value" column.
+  auto bag_of_scalars = Schema::FromBagType(nrc::Type::Bag(nrc::Type::Int()));
+  ASSERT_TRUE(bag_of_scalars.ok());
+  ASSERT_EQ(bag_of_scalars->size(), 1u);
+  EXPECT_EQ(bag_of_scalars->col(0).name, "_value");
+}
+
+TEST(SchemaTest, RequireNamesColumnAndSchemaInError) {
+  Schema s({{"a", nrc::Type::Int()}, {"b", nrc::Type::String()}});
+  ASSERT_TRUE(s.Require("a").ok());
+  EXPECT_EQ(s.Require("b").ValueOrDie(), 1);
+  auto missing = s.Require("zzz");
+  ASSERT_FALSE(missing.ok());
+  std::string msg = missing.status().ToString();
+  EXPECT_NE(msg.find("schema has no column 'zzz'"), std::string::npos) << msg;
+  // The error names the schema so the caller can see what was available.
+  EXPECT_NE(msg.find("a: "), std::string::npos) << msg;
+  EXPECT_NE(msg.find("b: "), std::string::npos) << msg;
+}
+
+TEST(PartitioningTest, IsHashOnHandlesPermutationsAndDuplicates) {
+  Partitioning h = Partitioning::Hash({1, 3});
+  EXPECT_TRUE(h.IsHashOn({1, 3}));
+  EXPECT_TRUE(h.IsHashOn({3, 1}));
+  EXPECT_FALSE(h.IsHashOn({1, 2}));
+  EXPECT_FALSE(h.IsHashOn({1}));
+  EXPECT_FALSE(h.IsHashOn({1, 3, 3}));
+  EXPECT_FALSE(Partitioning::None().IsHashOn({1, 3}));
+
+  // Duplicate-bearing lists: {1,1,2} is not a permutation of {1,2,2}.
+  Partitioning dup = Partitioning::Hash({1, 1, 2});
+  EXPECT_TRUE(dup.IsHashOn({1, 2, 1}));
+  EXPECT_TRUE(dup.IsHashOn({2, 1, 1}));
+  EXPECT_FALSE(dup.IsHashOn({1, 2, 2}));
+
+  // > 4 columns exercises the sorted fallback path.
+  Partitioning wide = Partitioning::Hash({5, 4, 3, 2, 1});
+  EXPECT_TRUE(wide.IsHashOn({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(wide.IsHashOn({5, 4, 3, 2, 1}));
+  EXPECT_FALSE(wide.IsHashOn({1, 2, 3, 4, 6}));
+  Partitioning wide_dup = Partitioning::Hash({1, 1, 2, 3, 4});
+  EXPECT_TRUE(wide_dup.IsHashOn({4, 3, 2, 1, 1}));
+  EXPECT_FALSE(wide_dup.IsHashOn({4, 3, 2, 2, 1}));
+}
+
+Dataset MakeDataset(Rng* rng, size_t nparts, size_t rows_per) {
+  Dataset d;
+  d.schema = MixedSchema();
+  d.partitions.resize(nparts);
+  for (size_t p = 0; p < nparts; ++p) {
+    d.partitions[p] = RandomRows(rng, rows_per, d.schema.size());
+  }
+  return d;
+}
+
+TEST(DatasetTest, CollectIsThreadCountInvariant) {
+  Rng rng(5);
+  Dataset d = MakeDataset(&rng, 7, 100);
+  std::vector<Row> serial = d.Collect();
+  std::vector<Row> parallel4 = d.Collect(4);
+  std::vector<Row> parallel8 = d.Collect(8);
+  ASSERT_EQ(serial.size(), d.NumRows());
+  ExpectRowsEqual(serial, parallel4);
+  ExpectRowsEqual(serial, parallel8);
+  // Partition order: partition p's rows precede partition p+1's.
+  size_t at = 0;
+  for (const auto& part : d.partitions) {
+    for (const Row& r : part) {
+      ASSERT_EQ(serial[at].fields.size(), r.fields.size());
+      for (size_t f = 0; f < r.fields.size(); ++f) {
+        EXPECT_EQ(serial[at].fields[f], r.fields[f]);
+      }
+      ++at;
+    }
+  }
+}
+
+TEST(DatasetTest, ToBlocksFromBlocksRoundTrips) {
+  Rng rng(6);
+  Dataset d = MakeDataset(&rng, 5, 80);
+  for (int threads : {1, 4}) {
+    auto blocks = d.ToBlocks(threads);
+    ASSERT_EQ(blocks.size(), d.partitions.size());
+    Dataset back = Dataset::FromBlocks(d.schema, blocks,
+                                       Partitioning::None(), threads);
+    ASSERT_EQ(back.partitions.size(), d.partitions.size());
+    for (size_t p = 0; p < d.partitions.size(); ++p) {
+      SCOPED_TRACE("partition " + std::to_string(p));
+      ExpectRowsEqual(back.partitions[p], d.partitions[p]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trance
