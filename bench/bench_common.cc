@@ -124,6 +124,10 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.hash_probe_len_max = stats.hash_probe_len_max();
   r.columnar_bytes = stats.columnar_bytes();
   r.column_to_row_conversions = stats.column_to_row_conversions();
+  r.spill_bytes_written = stats.spill_bytes_written();
+  r.spill_bytes_read = stats.spill_bytes_read();
+  r.spill_runs = stats.spill_runs();
+  r.spill_merge_passes = stats.spill_merge_passes();
   r.stats = stats;
   r.metrics = cluster->metrics().Snapshot();
   r.ok = st.ok();
@@ -250,6 +254,14 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.columnar_bytes);
     w.Key("column_to_row_conversions");
     w.Uint(r.column_to_row_conversions);
+    w.Key("spill_bytes_written");
+    w.Uint(r.spill_bytes_written);
+    w.Key("spill_bytes_read");
+    w.Uint(r.spill_bytes_read);
+    w.Key("spill_runs");
+    w.Uint(r.spill_runs);
+    w.Key("spill_merge_passes");
+    w.Uint(r.spill_merge_passes);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

@@ -67,6 +67,14 @@ struct RunResult {
   /// ExecOptions::enable_columnar is off. See docs/METRICS.md.
   uint64_t columnar_bytes = 0;
   uint64_t column_to_row_conversions = 0;
+  /// Out-of-core spill telemetry (PR 9): bytes written to / streamed back
+  /// from run files, run files produced, merge passes. All zero when
+  /// nothing spills or ExecOptions::enable_spill is off. See
+  /// docs/METRICS.md and docs/STORAGE.md.
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t spill_runs = 0;
+  uint64_t spill_merge_passes = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

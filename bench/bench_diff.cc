@@ -104,6 +104,10 @@ const ScalarRule kScalarRules[] = {
     {"hash_probe_len_max", Policy::kExact},
     {"columnar_bytes", Policy::kExact},
     {"column_to_row_conversions", Policy::kExact},
+    {"spill_bytes_written", Policy::kExact},
+    {"spill_bytes_read", Policy::kExact},
+    {"spill_runs", Policy::kExact},
+    {"spill_merge_passes", Policy::kExact},
     {"sim_seconds", Policy::kSimTime},
     {"recovery_sim_seconds", Policy::kSimTime},
     {"wall_seconds", Policy::kWallSoft},

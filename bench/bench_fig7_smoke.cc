@@ -7,6 +7,11 @@
 // TRANCE_COLUMNAR=0 disables ExecOptions::enable_columnar (the PR 8 typed
 // partition-block path) and renames the report fig7_smoke_columnar_off, so
 // CI diffs both sides of the ablation against their own baselines.
+//
+// TRANCE_SPILL_FORCE=1 shrinks the per-partition memory cap to a few KB so
+// the out-of-core spill path (PR 9, runtime/spill.h) engages on every route
+// and renames the report fig7_smoke_spill: runs that would FAIL under the
+// tiny cap must complete through disk runs with spill_* counters > 0.
 #include <cstdlib>
 #include <cstring>
 
@@ -20,13 +25,29 @@ int main() {
   cfg.max_depth = 1;
   cfg.num_threads = 1;
   const char* columnar = std::getenv("TRANCE_COLUMNAR");
+  const char* spill_force = std::getenv("TRANCE_SPILL_FORCE");
   std::string report = "fig7_smoke";
   if (columnar != nullptr && std::strcmp(columnar, "0") == 0) {
     cfg.enable_columnar = false;
     report = "fig7_smoke_columnar_off";
   }
+  bool forced_spill = spill_force != nullptr && std::strcmp(spill_force, "1") == 0;
+  if (forced_spill) {
+    cfg.partition_memory_cap = 8ull << 10;  // saturates at this scale
+    report = "fig7_smoke_spill";
+  }
   auto results = trance::bench::RunFig7(cfg);
   TRANCE_CHECK(!results.empty(), "fig7 smoke produced no runs");
+  if (forced_spill) {
+    uint64_t spill_runs = 0;
+    bool any_ok = false;
+    for (const auto& r : results) {
+      spill_runs += r.spill_runs;
+      any_ok = any_ok || r.ok;
+    }
+    TRANCE_CHECK(any_ok, "forced-spill smoke: every run failed");
+    TRANCE_CHECK(spill_runs > 0, "forced-spill smoke spilled nothing");
+  }
   TRANCE_CHECK(trance::bench::WriteBenchReport(report, results).ok(),
                "bench report");
   return 0;

@@ -16,6 +16,11 @@
 // google-benchmark suite starts.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
 #include "bench_common.h"
 #include "nrc/builder.h"
 #include "runtime/cluster.h"
@@ -23,6 +28,7 @@
 #include "runtime/flat_hash.h"
 #include "runtime/key_codec.h"
 #include "runtime/ops.h"
+#include "runtime/serde.h"
 #include "shred/value_shredder.h"
 #include "skew/skew.h"
 #include "util/random.h"
@@ -380,6 +386,80 @@ void BM_ColumnProject(benchmark::State& state) {
 }
 BENCHMARK(BM_ColumnProject)->Args({65536, 1})->Args({65536, 0});
 
+namespace serde = runtime::serde;
+
+/// Rows for the serde throughput benchmarks: the dup shape (int key, short
+/// string), written in the 4096-row records the spill manager uses.
+std::string SerdeBenchPath() {
+  return (std::filesystem::temp_directory_path() /
+          ("trance-serde-bench-" + std::to_string(::getpid()) + ".trs"))
+      .string();
+}
+
+/// Serde write throughput (PR 9): serialize n rows into a run file through
+/// BlockFileWriter (bytes/s is the number to watch; docs/STORAGE.md format).
+void BM_SerdeWrite(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    int64_t k = rng.UniformRange(0, 1 << 20);
+    rows.push_back(Row({Field::Int(k), Field::Str("p" + std::to_string(k))}));
+  }
+  const std::string path = SerdeBenchPath();
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    serde::BlockFileWriter writer;
+    TRANCE_CHECK(writer.Open(path).ok(), "serde bench open");
+    TRANCE_CHECK(writer.WriteRows(rows).ok(), "serde bench write");
+    TRANCE_CHECK(writer.Close().ok(), "serde bench close");
+    bytes = writer.bytes_written();
+    benchmark::DoNotOptimize(bytes);
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerdeWrite)->Arg(65536);
+
+/// Serde read throughput (PR 9): stream the same run file back into rows.
+void BM_SerdeRead(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    int64_t k = rng.UniformRange(0, 1 << 20);
+    rows.push_back(Row({Field::Int(k), Field::Str("p" + std::to_string(k))}));
+  }
+  const std::string path = SerdeBenchPath();
+  {
+    serde::BlockFileWriter writer;
+    TRANCE_CHECK(writer.Open(path).ok(), "serde bench open");
+    TRANCE_CHECK(writer.WriteRows(rows).ok(), "serde bench write");
+    TRANCE_CHECK(writer.Close().ok(), "serde bench close");
+  }
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    serde::BlockFileReader reader;
+    TRANCE_CHECK(reader.Open(path).ok(), "serde bench open");
+    std::vector<Row> back;
+    back.reserve(rows.size());
+    for (;;) {
+      auto more = reader.ReadBatch(&back);
+      TRANCE_CHECK(more.ok(), "serde bench read");
+      if (!more.value()) break;
+    }
+    TRANCE_CHECK(back.size() == rows.size(), "serde bench row count");
+    bytes = reader.bytes_read();
+    TRANCE_CHECK(reader.Close().ok(), "serde bench close");
+    benchmark::DoNotOptimize(back);
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerdeRead)->Arg(65536);
+
 void BM_ValueShred(benchmark::State& state) {
   nrc::Value v = MakeNested(state.range(0), 10, 10);
   nrc::TypePtr t = NestedType();
@@ -644,12 +724,102 @@ Status RunColumnarAblation() {
   return bench::WriteBenchReport("micro_columnar", results);
 }
 
+// Fixed-size regression pass over the same keyed workloads for the
+// out-of-core spill path of PR 9. The .spill_forced runs use a 256 KiB
+// per-partition memory cap — far under the working set, so shuffles, keyed
+// inputs and stage outputs all spill through runtime/spill.h run files —
+// while the .spill_off runs use the default (effectively unlimited) cap with
+// ExecOptions-level spilling disabled. Stats transparency is asserted
+// in-binary: rows, movement stats, simulated time and keyed counters are
+// bit-identical across the pair, the forced runs report spill_* > 0, and the
+// off runs report exactly 0. Results land in BENCH_micro_spill.json.
+Status RunSpillAblation() {
+  std::vector<bench::RunResult> results;
+  const int64_t n = 200000;
+  for (bool forced : {true, false}) {
+    ClusterConfig cfg{.num_partitions = 8};
+    if (forced) cfg.partition_memory_cap = 256ull << 10;
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(true);
+    cluster.set_spill_enabled(forced);
+    const std::string suffix = forced ? ".spill_forced" : ".spill_off";
+
+    Dataset dup = MakeDup(&cluster, n, n / 16, 6);
+    size_t rows = 0;
+    bench::RunResult r = bench::TimedRun(
+        "distinct" + suffix, &cluster, [&]() -> Status {
+          TRANCE_ASSIGN_OR_RETURN(Dataset out,
+                                  runtime::Distinct(&cluster, dup, "dedup"));
+          rows = out.NumRows();
+          return Status::OK();
+        });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset l = MakeKv(&cluster, n, 1000, 0.0, 1);
+    Dataset d = MakeKv(&cluster, 1000, 1000, 0.0, 2);
+    r = bench::TimedRun("hash_join" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out, runtime::HashJoin(&cluster, l, d, {0}, {0},
+                                         runtime::JoinType::kInner, "join"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+
+    Dataset kv = MakeKv(&cluster, n, 1024, 0.0, 4);
+    r = bench::TimedRun("nest" + suffix, &cluster, [&]() -> Status {
+      TRANCE_ASSIGN_OR_RETURN(
+          Dataset out,
+          runtime::NestGroup(&cluster, kv, {0}, {1}, "bag", "nest"));
+      rows = out.NumRows();
+      return Status::OK();
+    });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+  }
+
+  // Stats transparency: run i (spill forced under a tiny cap) against run
+  // i + 3 (spill off, uncapped) — the acceptance pairing of the PR.
+  for (size_t i = 0; i < 3; ++i) {
+    const bench::RunResult& forced = results[i];
+    const bench::RunResult& off = results[i + 3];
+    TRANCE_CHECK(forced.ok && off.ok, "spill ablation run failed");
+    TRANCE_CHECK(forced.out_rows == off.out_rows,
+                 "spill ablation: result rows differ for " + forced.name);
+    TRANCE_CHECK(forced.shuffle_bytes == off.shuffle_bytes &&
+                     forced.max_stage_shuffle == off.max_stage_shuffle &&
+                     forced.peak_partition == off.peak_partition,
+                 "spill ablation: movement stats differ for " + forced.name);
+    TRANCE_CHECK(forced.sim_s == off.sim_s,
+                 "spill ablation: sim time differs for " + forced.name);
+    TRANCE_CHECK(forced.key_encode_bytes == off.key_encode_bytes &&
+                     forced.hash_build_rows == off.hash_build_rows &&
+                     forced.hash_probe_hits == off.hash_probe_hits &&
+                     forced.hash_max_chain == off.hash_max_chain,
+                 "spill ablation: keyed counters differ for " + forced.name);
+    TRANCE_CHECK(forced.spill_runs > 0 && forced.spill_bytes_written > 0,
+                 "spill ablation: nothing spilled in " + forced.name);
+    TRANCE_CHECK(forced.spill_bytes_read == forced.spill_bytes_written,
+                 "spill ablation: restore did not stream every spilled byte");
+    TRANCE_CHECK(off.spill_bytes_written == 0 && off.spill_bytes_read == 0 &&
+                     off.spill_runs == 0 && off.spill_merge_passes == 0,
+                 "spill ablation: counters leak into " + off.name);
+  }
+
+  bench::PrintHeader("spill ablation (rows/s = rows / wall)");
+  for (const auto& r : results) bench::PrintResult(r);
+  return bench::WriteBenchReport("micro_spill", results);
+}
+
 }  // namespace trance
 
 int main(int argc, char** argv) {
   TRANCE_CHECK(trance::RunKeyCodecAblation().ok(), "key codec ablation");
   TRANCE_CHECK(trance::RunFlatHashAblation().ok(), "flat hash ablation");
   TRANCE_CHECK(trance::RunColumnarAblation().ok(), "columnar ablation");
+  TRANCE_CHECK(trance::RunSpillAblation().ok(), "spill ablation");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -23,6 +23,11 @@ struct Fig7Config {
   /// Forwarded to ExecOptions::enable_columnar for every route (PR 8
   /// ablation hook; results and simulated stats are flag-invariant).
   bool enable_columnar = true;
+  /// Forwarded to ExecOptions::enable_spill for every route (PR 9). With
+  /// spilling on, a run over the memory cap completes through disk runs
+  /// (spill_* counters > 0) instead of FAILing; results and all
+  /// pre-existing stats stay bit-identical to an uncapped run.
+  bool enable_spill = true;
 };
 
 /// Runs the whole Figure-7 suite and prints the result table. Returns the

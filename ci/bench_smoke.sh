@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Bench smoke gate: Release-builds the bench binaries, runs one tiny Fig-7
-# pass covering every compilation route (bench_fig7_smoke) twice — columnar
-# blocks on (default) and off (TRANCE_COLUMNAR=0), each diffed against its
-# own baseline — plus the ablation reports of bench_micro_ops (its
+# pass covering every compilation route (bench_fig7_smoke) three times —
+# columnar blocks on (default), off (TRANCE_COLUMNAR=0), and under a forced
+# out-of-core spill (TRANCE_SPILL_FORCE=1 shrinks the memory cap so every
+# route must survive through disk runs), each diffed against its own
+# baseline — plus the ablation reports of bench_micro_ops (its
 # google-benchmark suite filtered out), then runs three machine-readable
 # drift gates:
 #
@@ -40,6 +42,11 @@ TRANCE_BENCH_OUT="$OUT_DIR" TRANCE_EVENT_LOG="$OUT_DIR/events.jsonl" \
 # BENCH_fig7_smoke_columnar_off.json): the flag must stay runnable end to
 # end, and its report diffs against its own baseline below.
 TRANCE_BENCH_OUT="$OUT_DIR" TRANCE_COLUMNAR=0 \
+  "$BUILD_DIR/bench/bench_fig7_smoke"
+# Forced-spill pass (writes BENCH_fig7_smoke_spill.json): an 8 KiB memory
+# cap would FAIL every route without the spill path; the binary asserts
+# spill_runs > 0 and at least one completed route before writing the report.
+TRANCE_BENCH_OUT="$OUT_DIR" TRANCE_SPILL_FORCE=1 \
   "$BUILD_DIR/bench/bench_fig7_smoke"
 # bench_micro_ops writes BENCH_micro_key_codec.json from its main() before
 # the google-benchmark suite starts; filter every registered benchmark out

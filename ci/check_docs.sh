@@ -6,16 +6,16 @@
 #     top-level docs and docs/*.md must exist in the tree (external http(s)
 #     links are not fetched).
 #  2. Doc-drift check: every field of the user-facing option structs
-#     (runtime::ClusterConfig, runtime::FaultConfig, exec::ExecOptions)
-#     must be mentioned by name somewhere in the documentation, so adding a
-#     knob without documenting it fails CI.
+#     (runtime::ClusterConfig, runtime::FaultConfig, runtime::spill::
+#     SpillConfig, exec::ExecOptions) must be mentioned by name somewhere in
+#     the documentation, so adding a knob without documenting it fails CI.
 #
 # Usage: ci/check_docs.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-DOCS=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/METRICS.md)
+DOCS=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/METRICS.md docs/STORAGE.md)
 fail=0
 
 # --- 1. relative markdown links -----------------------------------------
@@ -59,6 +59,7 @@ check_struct() { # file struct_name
 
 check_struct src/runtime/cluster.h ClusterConfig
 check_struct src/runtime/fault.h FaultConfig
+check_struct src/runtime/spill.h SpillConfig
 check_struct src/exec/lowering.h ExecOptions
 
 if [ "$fail" -ne 0 ]; then

@@ -70,6 +70,16 @@ struct ExecOptions {
   /// columnar-only counters (columnar_bytes/column_to_row_conversions)
   /// differ (0 when off).
   bool enable_columnar = true;
+  /// Spill partitions that cross the memory threshold to disk runs
+  /// (runtime/spill.h, format in docs/STORAGE.md) and stream them back,
+  /// instead of hard-failing with ResourceExhausted — the historical FAIL
+  /// behavior, kept under `false` for ablations and paper-faithful FAIL
+  /// cells. Rows, placement, shuffle bytes, and all pre-existing stats are
+  /// bit-identical between a capped spilling run and an uncapped run
+  /// (tests/spill_test.cc); only the spill-only counters
+  /// (spill_bytes_written/spill_bytes_read/spill_runs/spill_merge_passes)
+  /// differ (exactly 0 when off or when nothing spills).
+  bool enable_spill = true;
 };
 
 /// Executes plans against named datasets registered on a cluster.
@@ -82,6 +92,7 @@ class Executor {
     cluster_->set_key_codec_enabled(options_.enable_key_codec);
     cluster_->set_flat_hash_enabled(options_.enable_flat_hash);
     cluster_->set_columnar_enabled(options_.enable_columnar);
+    cluster_->set_spill_enabled(options_.enable_spill);
   }
 
   /// Registers an input (or intermediate) dataset under `name`.

@@ -152,6 +152,34 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t spill_bytes_written() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->spill_bytes_written;
+    }
+    return n;
+  }
+  uint64_t spill_bytes_read() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->spill_bytes_read;
+    }
+    return n;
+  }
+  uint64_t spill_runs() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->spill_runs;
+    }
+    return n;
+  }
+  uint64_t spill_merge_passes() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->spill_merge_passes;
+    }
+    return n;
+  }
   uint64_t injected_faults() const {
     uint64_t n = 0;
     for (const auto& e : entries) {
@@ -234,6 +262,12 @@ std::string StatsSuffix(const NodeStats& ns) {
   if (ns.columnar_bytes() > 0) {
     os << " col(blocks=" << FormatBytes(ns.columnar_bytes())
        << " rowify=" << ns.column_to_row_conversions() << ")";
+  }
+  if (ns.spill_bytes_written() > 0) {
+    os << " spill(w=" << FormatBytes(ns.spill_bytes_written())
+       << " r=" << FormatBytes(ns.spill_bytes_read())
+       << " runs=" << ns.spill_runs() << " merges=" << ns.spill_merge_passes()
+       << ")";
   }
   if (ns.bytes_avoided() > 0) {
     os << " avoided=" << FormatBytes(ns.bytes_avoided());
@@ -354,6 +388,12 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
   if (stats.columnar_bytes() > 0) {
     os << " col(blocks=" << FormatBytes(stats.columnar_bytes())
        << " rowify=" << stats.column_to_row_conversions() << ")";
+  }
+  if (stats.spill_bytes_written() > 0) {
+    os << " spill(w=" << FormatBytes(stats.spill_bytes_written())
+       << " r=" << FormatBytes(stats.spill_bytes_read())
+       << " runs=" << stats.spill_runs()
+       << " merges=" << stats.spill_merge_passes() << ")";
   }
   if (stats.injected_faults() > 0) {
     os << " injected_faults=" << stats.injected_faults()

@@ -117,6 +117,16 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Key("column_to_row_conversions");
       w->Uint(s.column_to_row_conversions);
     }
+    if (s.spill_bytes_written > 0 || s.spill_runs > 0) {
+      w->Key("spill_bytes_written");
+      w->Uint(s.spill_bytes_written);
+      w->Key("spill_bytes_read");
+      w->Uint(s.spill_bytes_read);
+      w->Key("spill_runs");
+      w->Uint(s.spill_runs);
+      w->Key("spill_merge_passes");
+      w->Uint(s.spill_merge_passes);
+    }
     if (s.injected_faults > 0) {
       w->Key("injected_faults");
       w->Uint(s.injected_faults);
@@ -192,6 +202,14 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->Uint(stats.columnar_bytes());
   w->Key("column_to_row_conversions");
   w->Uint(stats.column_to_row_conversions());
+  w->Key("spill_bytes_written");
+  w->Uint(stats.spill_bytes_written());
+  w->Key("spill_bytes_read");
+  w->Uint(stats.spill_bytes_read());
+  w->Key("spill_runs");
+  w->Uint(stats.spill_runs());
+  w->Key("spill_merge_passes");
+  w->Uint(stats.spill_merge_passes());
   w->Key("injected_faults");
   w->Uint(stats.injected_faults());
   w->Key("retries");

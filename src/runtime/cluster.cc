@@ -102,6 +102,21 @@ void Cluster::PublishStage(size_t stage_index, const StageStats& s) {
                   "rows materialized out of typed partition blocks")
       ->Add(s.column_to_row_conversions);
   metrics_
+      .GetCounter("trance_spill_bytes_written_total",
+                  "bytes written to spill run files")
+      ->Add(s.spill_bytes_written);
+  metrics_
+      .GetCounter("trance_spill_bytes_read_total",
+                  "bytes streamed back from spill run files")
+      ->Add(s.spill_bytes_read);
+  metrics_
+      .GetCounter("trance_spill_runs_total", "spill run files produced")
+      ->Add(s.spill_runs);
+  metrics_
+      .GetCounter("trance_spill_merge_passes_total",
+                  "stream-merge passes over spill runs")
+      ->Add(s.spill_merge_passes);
+  metrics_
       .GetGauge("trance_max_stage_shuffle_bytes",
                 "largest single-stage shuffle")
       ->SetMax(static_cast<double>(s.shuffle_bytes));
@@ -154,12 +169,28 @@ Status Cluster::CheckMemory(const Dataset& ds, const std::string& op) {
   return CheckMemoryBytes(ds.PartitionBytes(num_threads_), op);
 }
 
+spill::SpillManager* Cluster::spill_manager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spill_manager_ == nullptr) {
+    spill_manager_ = std::make_unique<spill::SpillManager>(config_.spill);
+  }
+  return spill_manager_.get();
+}
+
 Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
-                                 const std::string& op) {
+                                 const std::string& op,
+                                 const std::vector<uint8_t>* spilled) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t peak = 0;
+  size_t peak_partition = 0;
+  uint64_t spilled_partitions = 0;
+  if (spilled != nullptr) {
+    for (uint8_t f : *spilled) spilled_partitions += f ? 1 : 0;
+  }
   // Publishes the check's outcome into the registry and event log; shared by
-  // the pass and fail exits so every check is visible either way.
+  // the pass and fail exits so every check is visible either way. The event
+  // names the observed peak (value and partition) next to the configured cap
+  // so spill-vs-fail decisions are debuggable from logs alone.
   auto publish = [&](bool ok) {
     metrics_
         .GetCounter("trance_memory_checks_total", "per-stage memory-cap checks")
@@ -180,25 +211,35 @@ Status Cluster::CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
         .U64("job", job_id_)
         .Str("op", op)
         .U64("partitions", partition_bytes.size())
+        .U64("partition", peak_partition)
         .U64("peak_bytes", peak)
         .U64("cap_bytes", config_.partition_memory_cap)
+        .U64("spilled_partitions", spilled_partitions)
         .Bool("ok", ok)
         .Emit();
   };
   for (size_t p = 0; p < partition_bytes.size(); ++p) {
     uint64_t b = partition_bytes[p];
     stats_.NotePeakPartitionBytes(b);
-    if (b > peak) peak = b;
-    if (b > config_.partition_memory_cap) {
-      // Name the stage, the plan-node scope and the partition so EXPLAIN
-      // ANALYZE readers and test failures can attribute the saturation.
+    if (b > peak) {
+      peak = b;
+      peak_partition = p;
+    }
+    bool was_spilled = spilled != nullptr && p < spilled->size() &&
+                       (*spilled)[p] != 0;
+    if (b > config_.partition_memory_cap && !was_spilled) {
+      // Name the stage, the plan-node scope, the partition, and the exact
+      // observed/configured byte counts so EXPLAIN ANALYZE readers and test
+      // failures can attribute the saturation without a debugger.
       std::string where = "stage '" + op + "'";
       if (!scope_stack_.empty()) where += " (scope " + scope_stack_.back() + ")";
       publish(false);
       return Status::ResourceExhausted(
           "worker memory saturated in " + where + ": partition " +
-          std::to_string(p) + " holds " + FormatBytes(b) + " > cap " +
-          FormatBytes(config_.partition_memory_cap));
+          std::to_string(p) + " holds " + FormatBytes(b) + " (" +
+          std::to_string(b) + " bytes) > cap " +
+          FormatBytes(config_.partition_memory_cap) + " (" +
+          std::to_string(config_.partition_memory_cap) + " bytes)");
     }
   }
   publish(true);

@@ -5,6 +5,7 @@
 #define TRANCE_RUNTIME_CLUSTER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "runtime/dataset.h"
 #include "runtime/fault.h"
 #include "runtime/key_codec.h"
+#include "runtime/spill.h"
 #include "runtime/stats.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -54,6 +56,10 @@ struct ClusterConfig {
   /// budget, results and all non-recovery stats are bit-identical to a
   /// fault-free run.
   FaultConfig faults{};
+  /// Out-of-core spill knobs (runtime/spill.h, docs/STORAGE.md). Whether the
+  /// spill sites engage at all is the executor's ExecOptions::enable_spill;
+  /// this configures where runs go and how they are bounded once they do.
+  spill::SpillConfig spill{};
 };
 
 /// Cluster state: configuration + per-job statistics. One Cluster per
@@ -150,8 +156,13 @@ class Cluster {
   Status CheckMemory(const Dataset& ds, const std::string& op);
   /// Same check over precomputed per-partition byte footprints (lets callers
   /// that already walked the dataset avoid a second deep-size pass).
+  /// `spilled`, when non-null, marks partitions whose working set was spilled
+  /// to disk (runtime/spill.h): they still count toward the peak-bytes
+  /// telemetry — so mem_high_water / peak_partition_bytes match an uncapped
+  /// run — but no longer fail the cap check.
   Status CheckMemoryBytes(const std::vector<uint64_t>& partition_bytes,
-                          const std::string& op);
+                          const std::string& op,
+                          const std::vector<uint8_t>* spilled = nullptr);
 
   /// Target partition of a key hash. The splitmix64 finalizer decorrelates
   /// partition assignment from low-bit structure in the key hash; the
@@ -200,6 +211,29 @@ class Cluster {
   bool columnar_enabled() const { return columnar_enabled_; }
   void set_columnar_enabled(bool on) { columnar_enabled_ = on; }
 
+  /// Whether partitions over the memory threshold spill to disk runs
+  /// (runtime/spill.h, default) instead of hard-failing with
+  /// ResourceExhausted — the historical FAIL behavior. Set by the executor
+  /// from ExecOptions::enable_spill; results, placement, and every
+  /// pre-existing stat are bit-identical between a capped spilling run and
+  /// an uncapped run (tests/spill_test.cc) — only the spill-only counters
+  /// (spill_bytes_written / spill_bytes_read / spill_runs /
+  /// spill_merge_passes) differ (0 when off or when nothing spills).
+  bool spill_enabled() const { return spill_enabled_; }
+  void set_spill_enabled(bool on) { spill_enabled_ = on; }
+
+  /// The cluster's spill manager (created lazily on first use so clusters
+  /// that never spill never touch the filesystem). Driver- and task-callable;
+  /// the manager's own methods are thread-safe.
+  spill::SpillManager* spill_manager();
+
+  /// The partition-byte threshold above which spill sites engage:
+  /// config().spill.threshold_bytes, defaulting to the memory cap.
+  uint64_t spill_threshold_bytes() const {
+    return config_.spill.threshold_bytes > 0 ? config_.spill.threshold_bytes
+                                             : config_.partition_memory_cap;
+  }
+
   /// Operator-scope stack for plan-node attribution of stages (EXPLAIN
   /// ANALYZE): stages recorded while a scope is active carry its name.
   void PushScope(std::string scope) {
@@ -226,7 +260,10 @@ class Cluster {
   bool key_codec_enabled_ = true;
   bool flat_hash_enabled_ = true;
   bool columnar_enabled_ = true;
+  bool spill_enabled_ = true;
   FaultInjector injector_;
+  /// Lazily created by spill_manager() under mu_.
+  std::unique_ptr<spill::SpillManager> spill_manager_;
   obs::MetricRegistry metrics_;
   /// Event-log job tag; mutated by BeginJob from the driver only.
   uint64_t job_id_ = 0;

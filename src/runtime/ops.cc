@@ -6,6 +6,7 @@
 
 #include "runtime/flat_hash.h"
 #include "runtime/key_codec.h"
+#include "runtime/spill.h"
 #include "util/hash.h"
 
 namespace trance {
@@ -75,6 +76,30 @@ Status FirstError(const std::vector<Status>& errs) {
     if (!e.ok()) return e;
   }
   return Status::OK();
+}
+
+/// Folds one partition's spill telemetry into the stage and emits its spill
+/// event. Driver-side only (post-barrier or sequential loops), in partition
+/// order, so spill counters and the event sequence are thread-count-invariant.
+void NoteSpill(Cluster* cluster, StageStats* stage, const std::string& op,
+               size_t partition, uint64_t partition_bytes,
+               const spill::SpillCounters& c) {
+  stage->spill_bytes_written += c.bytes_written;
+  stage->spill_bytes_read += c.bytes_read;
+  stage->spill_runs += c.runs;
+  stage->spill_merge_passes += c.merge_passes;
+  obs::EventLog& log = obs::GlobalEventLog();
+  if (!log.enabled()) return;
+  obs::Event(&log, "spill")
+      .U64("job", cluster->current_job_id())
+      .Str("op", op)
+      .U64("partition", partition)
+      .U64("partition_bytes", partition_bytes)
+      .U64("bytes_written", c.bytes_written)
+      .U64("bytes_read", c.bytes_read)
+      .U64("runs", c.runs)
+      .U64("merge_passes", c.merge_passes)
+      .Emit();
 }
 
 /// Static gate for the codec path of a keyed operator: a key column whose
@@ -245,9 +270,66 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
   out.parts.resize(n);
   out.bytes.assign(n, 0);
   std::vector<uint64_t> fetch_rowify(n, 0);
+
+  // Fetch-side spill (runtime/spill.h): a target whose total received bytes
+  // exceed the spill threshold writes one run per non-empty source bucket
+  // (clearing the bucket as it goes), then stream-merges the runs back in
+  // fixed source order — the identical row sequence the in-memory
+  // concatenation produces. The spill decision and every run are pure
+  // functions of the routed bytes, and the per-target counter slots are
+  // folded in target order after the barrier, so results and stats stay
+  // thread-count-invariant.
+  const bool spill_on = cluster->spill_enabled();
+  const uint64_t spill_threshold = cluster->spill_threshold_bytes();
+  std::vector<spill::SpillCounters> spill_slots(n);
+  std::vector<Status> spill_errs(n, Status::OK());
+  auto spill_fetch_target = [&](size_t t) -> Status {
+    spill::SpillManager* sm = cluster->spill_manager();
+    spill::SpillCounters* c = &spill_slots[t];
+    const std::string tag = stage->op + ".shuffle_fetch";
+    const uint64_t job = cluster->current_job_id();
+    std::vector<std::string> runs;
+    for (size_t p = 0; p < in_n; ++p) {
+      out.bytes[t] += buckets[p].bytes[t];
+      std::string path = sm->RunPath(job, tag, t, runs.size());
+      if (columnar) {
+        auto& src = buckets[p].blocks[t];
+        if (src.NumRows() == 0) continue;
+        TRANCE_RETURN_NOT_OK(sm->WriteBlockRun(path, src, c));
+        src = column::PartitionBlock(in.schema);
+      } else {
+        auto& src = buckets[p].rows[t];
+        if (src.empty()) continue;
+        TRANCE_RETURN_NOT_OK(sm->WriteRowsRun(path, src, c));
+        src.clear();
+        src.shrink_to_fit();
+      }
+      runs.push_back(std::move(path));
+    }
+    // One merge pass: streaming the runs in write order restores the exact
+    // source-order concatenation. Block records materialize rows through
+    // ReadRun's block_rows count, which lands in the same fetch_rowify slot
+    // the in-memory block path uses.
+    for (const std::string& path : runs) {
+      TRANCE_RETURN_NOT_OK(sm->ReadRun(
+          path, &out.parts[t], columnar ? &fetch_rowify[t] : nullptr, c));
+    }
+    for (const std::string& path : runs) sm->RemoveRun(path);
+    c->merge_passes += 1;
+    return Status::OK();
+  };
+
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       stage->op + ".shuffle_fetch", n, stage,
       [&](size_t t) {
+        if (spill_on) {
+          uint64_t total_bytes = 0;
+          for (size_t p = 0; p < in_n; ++p) total_bytes += buckets[p].bytes[t];
+          if (total_bytes > spill_threshold) {
+            spill_errs[t] = spill_fetch_target(t);
+            return;
+          }
+        }
         if (columnar) {
           size_t total = 0;
           for (size_t p = 0; p < in_n; ++p) {
@@ -274,6 +356,12 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
         }
       },
       nullptr));
+  TRANCE_RETURN_NOT_OK(FirstError(spill_errs));
+  for (size_t t = 0; t < n; ++t) {
+    if (spill_slots[t].runs == 0 && spill_slots[t].merge_passes == 0) continue;
+    NoteSpill(cluster, stage, stage->op + ".shuffle_fetch", t, out.bytes[t],
+              spill_slots[t]);
+  }
   for (uint64_t b : map_col_bytes) stage->columnar_bytes += b;
   for (uint64_t r : fetch_rowify) stage->column_to_row_conversions += r;
 
@@ -315,6 +403,23 @@ StatusOr<ShuffledParts> ShuffleOrReuse(Cluster* cluster, const Dataset& in,
     ShuffledParts out;
     out.parts = in.partitions;
     out.bytes = in.PartitionBytes(cluster->num_threads());
+    // Keyed-input spill: on the reuse path no shuffle bounds the partitions,
+    // so an oversized keyed-build input spills to runs here and streams back
+    // in the original order — the downstream index build then inserts the
+    // identical row sequence (same hash_* stats, same group emission order).
+    // Driver-side, in partition order.
+    if (cluster->spill_enabled()) {
+      const uint64_t threshold = cluster->spill_threshold_bytes();
+      for (size_t p = 0; p < out.parts.size(); ++p) {
+        if (out.bytes[p] <= threshold) continue;
+        spill::SpillCounters pc;
+        TRANCE_RETURN_NOT_OK(cluster->spill_manager()->SpillAndRestoreRows(
+            cluster->current_job_id(), stage->op + ".keyed_input", p,
+            &out.parts[p], &pc));
+        NoteSpill(cluster, stage, stage->op + ".keyed_input", p, out.bytes[p],
+                  pc);
+      }
+    }
     return out;
   }
   return ShuffleByKey(cluster, in, key_cols, stage);

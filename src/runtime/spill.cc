@@ -1,0 +1,249 @@
+#include "runtime/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "runtime/serde.h"
+#include "util/strings.h"
+
+namespace trance {
+namespace runtime {
+namespace spill {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Process-wide manager sequence; keeps concurrent clusters (tests run many)
+/// in disjoint directories while staying deterministic per process.
+std::atomic<uint64_t>& InstanceCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+std::string BaseDir(const SpillConfig& config) {
+  if (!config.dir.empty()) return config.dir;
+  if (const char* env = std::getenv("TRANCE_SPILL_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  return ec ? std::string("/tmp") : tmp.string();
+}
+
+/// Stage names become path components; keep them shell- and fs-safe.
+std::string SanitizeTag(const std::string& tag) {
+  std::string out;
+  out.reserve(tag.size());
+  for (char ch : tag) {
+    bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+              (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' || ch == '.';
+    out.push_back(ok ? ch : '_');
+  }
+  return out.empty() ? std::string("stage") : out;
+}
+
+/// Rows per row-batch record inside a run file; bounds the in-memory frame
+/// buffer without affecting the restored row order.
+constexpr size_t kRowsPerRecord = 4096;
+
+}  // namespace
+
+SpillManager::SpillManager(SpillConfig config) : config_(std::move(config)) {
+  uint64_t id = InstanceCounter().fetch_add(1);
+  root_ = (fs::path(BaseDir(config_)) /
+           ("trance-spill-" + std::to_string(::getpid()) + "-" +
+            std::to_string(id)))
+              .string();
+}
+
+SpillManager::~SpillManager() {
+  if (config_.keep_files) return;
+  bool created;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    created = root_created_;
+  }
+  if (created) {
+    std::error_code ec;
+    fs::remove_all(root_, ec);  // best effort; temp dirs are reaped anyway
+  }
+}
+
+std::string SpillManager::RunPath(uint64_t job, const std::string& tag,
+                                  size_t partition, size_t run) const {
+  return (fs::path(root_) / ("job" + std::to_string(job)) /
+          (SanitizeTag(tag) + "-p" + std::to_string(partition) + "-r" +
+           std::to_string(run) + ".trs"))
+      .string();
+}
+
+uint64_t SpillManager::on_disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return on_disk_bytes_;
+}
+
+Status SpillManager::AccountRun(const std::string& path, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.max_spill_bytes > 0 &&
+      on_disk_bytes_ + bytes > config_.max_spill_bytes) {
+    return Status::ResourceExhausted(
+        "spill byte budget exhausted: run '" + path + "' needs " +
+        FormatBytes(bytes) + " with " + FormatBytes(on_disk_bytes_) +
+        " already on disk > budget " + FormatBytes(config_.max_spill_bytes));
+  }
+  on_disk_bytes_ += bytes;
+  file_bytes_[path] = bytes;
+  return Status::OK();
+}
+
+namespace {
+
+Status EnsureParentDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::Internal("spill: cannot create run directory for '" +
+                            path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SpillManager::WriteRowsRun(const std::string& path,
+                                  const std::vector<Row>& rows,
+                                  SpillCounters* c) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root_created_ = true;
+  }
+  TRANCE_RETURN_NOT_OK(EnsureParentDir(path));
+  serde::BlockFileWriter writer;
+  TRANCE_RETURN_NOT_OK(
+      writer.Open(path, static_cast<size_t>(config_.io_buffer_bytes)));
+  std::vector<Row> batch;
+  batch.reserve(std::min(rows.size(), kRowsPerRecord));
+  for (size_t i = 0; i < rows.size(); i += kRowsPerRecord) {
+    size_t end = std::min(rows.size(), i + kRowsPerRecord);
+    batch.assign(rows.begin() + i, rows.begin() + end);
+    TRANCE_RETURN_NOT_OK(writer.WriteRows(batch));
+  }
+  TRANCE_RETURN_NOT_OK(writer.Close());
+  uint64_t bytes = writer.bytes_written();
+  TRANCE_RETURN_NOT_OK(AccountRun(path, bytes));
+  total_written_.fetch_add(bytes);
+  total_runs_.fetch_add(1);
+  if (c != nullptr) {
+    c->bytes_written += bytes;
+    c->runs += 1;
+  }
+  return Status::OK();
+}
+
+Status SpillManager::WriteBlockRun(const std::string& path,
+                                   const column::PartitionBlock& block,
+                                   SpillCounters* c) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root_created_ = true;
+  }
+  TRANCE_RETURN_NOT_OK(EnsureParentDir(path));
+  serde::BlockFileWriter writer;
+  TRANCE_RETURN_NOT_OK(
+      writer.Open(path, static_cast<size_t>(config_.io_buffer_bytes)));
+  TRANCE_RETURN_NOT_OK(writer.WriteBlock(block));
+  TRANCE_RETURN_NOT_OK(writer.Close());
+  uint64_t bytes = writer.bytes_written();
+  TRANCE_RETURN_NOT_OK(AccountRun(path, bytes));
+  total_written_.fetch_add(bytes);
+  total_runs_.fetch_add(1);
+  if (c != nullptr) {
+    c->bytes_written += bytes;
+    c->runs += 1;
+  }
+  return Status::OK();
+}
+
+Status SpillManager::ReadRun(const std::string& path, std::vector<Row>* out,
+                             uint64_t* block_rows, SpillCounters* c) {
+  serde::BlockFileReader reader;
+  TRANCE_RETURN_NOT_OK(
+      reader.Open(path, static_cast<size_t>(config_.io_buffer_bytes)));
+  for (;;) {
+    size_t before = out->size();
+    uint8_t kind = 0;
+    TRANCE_ASSIGN_OR_RETURN(bool more, reader.ReadBatch(out, &kind));
+    if (!more) break;
+    if (kind == serde::kRecordBlock && block_rows != nullptr) {
+      *block_rows += out->size() - before;
+    }
+  }
+  uint64_t bytes = reader.bytes_read();
+  TRANCE_RETURN_NOT_OK(reader.Close());
+  total_read_.fetch_add(bytes);
+  if (c != nullptr) c->bytes_read += bytes;
+  return Status::OK();
+}
+
+void SpillManager::RemoveRun(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = file_bytes_.find(path);
+    if (it != file_bytes_.end()) {
+      on_disk_bytes_ -= std::min(on_disk_bytes_, it->second);
+      file_bytes_.erase(it);
+    }
+  }
+  if (config_.keep_files) return;
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+Status SpillManager::SpillAndRestoreRows(uint64_t job, const std::string& tag,
+                                         size_t partition,
+                                         std::vector<Row>* rows,
+                                         SpillCounters* c) {
+  // Phase 1: partition the row sequence into bounded runs, moving rows out
+  // as each run fills so the spilled portion is actually released.
+  std::vector<std::string> runs;
+  std::vector<Row> chunk;
+  uint64_t chunk_bytes = 0;
+  auto flush_chunk = [&]() -> Status {
+    std::string path = RunPath(job, tag, partition, runs.size());
+    TRANCE_RETURN_NOT_OK(WriteRowsRun(path, chunk, c));
+    runs.push_back(std::move(path));
+    chunk.clear();
+    chunk_bytes = 0;
+    return Status::OK();
+  };
+  for (Row& r : *rows) {
+    chunk_bytes += RowDeepSize(r);
+    chunk.push_back(std::move(r));
+    if (chunk_bytes >= config_.max_run_bytes) {
+      TRANCE_RETURN_NOT_OK(flush_chunk());
+    }
+  }
+  if (!chunk.empty() || runs.empty()) {
+    TRANCE_RETURN_NOT_OK(flush_chunk());
+  }
+  rows->clear();
+  rows->shrink_to_fit();
+
+  // Phase 2: one merge pass — stream the runs back in run order, which is
+  // exactly the original row order.
+  for (const std::string& path : runs) {
+    TRANCE_RETURN_NOT_OK(ReadRun(path, rows, nullptr, c));
+  }
+  for (const std::string& path : runs) RemoveRun(path);
+  if (c != nullptr) c->merge_passes += 1;
+  return Status::OK();
+}
+
+}  // namespace spill
+}  // namespace runtime
+}  // namespace trance

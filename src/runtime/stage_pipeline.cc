@@ -1,5 +1,6 @@
 #include "runtime/stage_pipeline.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -18,8 +19,52 @@ Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
   for (uint64_t b : part_bytes) {
     if (b > stage.mem_high_water_bytes) stage.mem_high_water_bytes = b;
   }
+  // Out-of-core fallback: partitions whose output footprint crosses the
+  // spill threshold are written to disk runs and streamed back (identical
+  // row sequence — see runtime/spill.h), turning what the memory check below
+  // would fail into a slow-but-correct stage. Driver-side, in partition
+  // order, so spill counters and events are thread-count-invariant; the
+  // recorded peak bytes are untouched, keeping mem_high_water /
+  // peak_partition_bytes bit-identical to an uncapped run.
+  Status spill_status = Status::OK();
+  std::vector<uint8_t> spilled(part_bytes.size(), 0);
+  bool any_spilled = false;
+  if (cluster->spill_enabled()) {
+    uint64_t threshold = std::min(cluster->spill_threshold_bytes(),
+                                  cluster->config().partition_memory_cap);
+    spill::SpillCounters c;
+    for (size_t p = 0; p < part_bytes.size(); ++p) {
+      if (part_bytes[p] <= threshold) continue;
+      spill::SpillCounters pc;
+      spill_status = cluster->spill_manager()->SpillAndRestoreRows(
+          cluster->current_job_id(), name, p, &result->partitions[p], &pc);
+      if (!spill_status.ok()) break;
+      spilled[p] = 1;
+      any_spilled = true;
+      c += pc;
+      obs::EventLog& log = obs::GlobalEventLog();
+      if (log.enabled()) {
+        obs::Event(&log, "spill")
+            .U64("job", cluster->current_job_id())
+            .Str("op", name)
+            .U64("partition", p)
+            .U64("partition_bytes", part_bytes[p])
+            .U64("bytes_written", pc.bytes_written)
+            .U64("bytes_read", pc.bytes_read)
+            .U64("runs", pc.runs)
+            .U64("merge_passes", pc.merge_passes)
+            .Emit();
+      }
+    }
+    stage.spill_bytes_written += c.bytes_written;
+    stage.spill_bytes_read += c.bytes_read;
+    stage.spill_runs += c.runs;
+    stage.spill_merge_passes += c.merge_passes;
+  }
   cluster->RecordStage(std::move(stage));
-  return cluster->CheckMemoryBytes(part_bytes, name);
+  TRANCE_RETURN_NOT_OK(spill_status);
+  return cluster->CheckMemoryBytes(part_bytes, name,
+                                   any_spilled ? &spilled : nullptr);
 }
 
 }  // namespace detail

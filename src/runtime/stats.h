@@ -96,6 +96,15 @@ struct StageStats {
   /// bit-identical either way.
   uint64_t columnar_bytes = 0;
   uint64_t column_to_row_conversions = 0;
+  /// Out-of-core spill telemetry (runtime/spill.h): bytes written to /
+  /// streamed back from run files, run files produced, and stream-merge
+  /// passes over them. All four are exactly 0 when nothing spills (and
+  /// always when ExecOptions::enable_spill is off); spilling never changes
+  /// any pre-existing field — spill cost flows through these channels only.
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t spill_runs = 0;
+  uint64_t spill_merge_passes = 0;
   /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
   /// when the injector is disabled). Every non-recovery field above is
   /// bit-identical between a fault-free run and a run whose injected faults
@@ -163,6 +172,10 @@ class JobStats {
     }
     columnar_bytes_ += s.columnar_bytes;
     column_to_row_conversions_ += s.column_to_row_conversions;
+    spill_bytes_written_ += s.spill_bytes_written;
+    spill_bytes_read_ += s.spill_bytes_read;
+    spill_runs_ += s.spill_runs;
+    spill_merge_passes_ += s.spill_merge_passes;
     stages_.push_back(std::move(s));
   }
 
@@ -210,6 +223,14 @@ class JobStats {
   uint64_t column_to_row_conversions() const {
     return column_to_row_conversions_;
   }
+  /// Bytes written to spill run files (0 when nothing spilled).
+  uint64_t spill_bytes_written() const { return spill_bytes_written_; }
+  /// Bytes streamed back from spill run files.
+  uint64_t spill_bytes_read() const { return spill_bytes_read_; }
+  /// Spill run files produced across all stages.
+  uint64_t spill_runs() const { return spill_runs_; }
+  /// Stream-merge passes over spill runs.
+  uint64_t spill_merge_passes() const { return spill_merge_passes_; }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -234,6 +255,10 @@ class JobStats {
     hash_probe_len_max_ = 0;
     columnar_bytes_ = 0;
     column_to_row_conversions_ = 0;
+    spill_bytes_written_ = 0;
+    spill_bytes_read_ = 0;
+    spill_runs_ = 0;
+    spill_merge_passes_ = 0;
   }
 
   std::string ToString() const;
@@ -258,6 +283,10 @@ class JobStats {
   uint64_t hash_probe_len_max_ = 0;
   uint64_t columnar_bytes_ = 0;
   uint64_t column_to_row_conversions_ = 0;
+  uint64_t spill_bytes_written_ = 0;
+  uint64_t spill_bytes_read_ = 0;
+  uint64_t spill_runs_ = 0;
+  uint64_t spill_merge_passes_ = 0;
 };
 
 }  // namespace runtime

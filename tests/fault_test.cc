@@ -457,6 +457,9 @@ TEST(FaultRecoveryTest, MemoryCapMessageNamesStageAndPartition) {
   c.num_partitions = 4;
   c.partition_memory_cap = 1;  // everything saturates
   runtime::Cluster cluster(c);
+  // Spilling (on by default) would mask the saturation; this test is about
+  // the historical hard-failure message, so force the pre-spill behavior.
+  cluster.set_spill_enabled(false);
   runtime::Dataset in = SmallSource(&cluster);
   auto out = runtime::Repartition(&cluster, in, {0}, "repart(small)");
   ASSERT_FALSE(out.ok());
@@ -466,6 +469,10 @@ TEST(FaultRecoveryTest, MemoryCapMessageNamesStageAndPartition) {
       << msg;
   EXPECT_NE(msg.find("repart(small)"), std::string::npos) << msg;
   EXPECT_NE(msg.find("partition"), std::string::npos) << msg;
+  // The message must name the configured cap and the observed bytes.
+  EXPECT_NE(msg.find("holds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bytes) > cap"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(1 bytes)"), std::string::npos) << msg;
 }
 
 }  // namespace

@@ -432,6 +432,9 @@ TEST(OpsTest, MemoryCapTriggersResourceExhausted) {
   // must hit the cap.
   ClusterConfig cfg{.num_partitions = 2, .partition_memory_cap = 512};
   Cluster cluster(cfg);
+  // Spilling (on by default) would turn this overflow into disk runs and
+  // succeed; this test is about the historical hard failure.
+  cluster.set_spill_enabled(false);
   std::vector<Row> rows;
   for (int i = 0; i < 100; ++i) {
     rows.push_back(Row({Field::Int(i), Field::Str(std::string(64, 'x'))}));

@@ -1,0 +1,531 @@
+// Out-of-core spill tests (ctest label `spill`).
+//
+// The acceptance contract of runtime/spill.h: a Fig-7 query that hard-fails
+// with ResourceExhausted under a reduced partition_memory_cap completes when
+// ExecOptions::enable_spill is on, with rows, placement, and every
+// pre-existing JobStats counter bit-identical to an uncapped run — at 1, 4,
+// and 8 threads, on both compilation routes. Spill cost appears only in the
+// spill-only counters (and EXPLAIN ANALYZE / JSON export), which are exactly
+// 0 when nothing spills. Plus SpillManager unit coverage: deterministic run
+// naming, order-preserving spill-and-restore, and the spill byte budget.
+#include "runtime/spill.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exec/bridge.h"
+#include "exec/pipeline.h"
+#include "nrc/interp.h"
+#include "obs/explain.h"
+#include "obs/export.h"
+#include "runtime/cluster.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace trance {
+namespace {
+
+using nrc::Value;
+using runtime::Dataset;
+using runtime::JobStats;
+using runtime::Row;
+using runtime::StageStats;
+using runtime::Field;
+
+// The forced cap: far below the working set of every suite query at scale
+// 0.0005 (partitions run tens of KB), so a spill-off capped run FAILs and a
+// spill-on capped run must actually hit the disk.
+constexpr uint64_t kTinyCap = 4ull << 10;
+
+runtime::ClusterConfig Config(int num_threads, uint64_t cap) {
+  runtime::ClusterConfig c;
+  c.num_partitions = 8;
+  c.num_threads = num_threads;
+  if (cap > 0) c.partition_memory_cap = cap;
+  return c;
+}
+
+void ExpectSameRows(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (size_t p = 0; p < a.partitions.size(); ++p) {
+    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+        << "partition " << p;
+    for (size_t i = 0; i < a.partitions[p].size(); ++i) {
+      const Row& ra = a.partitions[p][i];
+      const Row& rb = b.partitions[p][i];
+      ASSERT_EQ(ra.fields.size(), rb.fields.size())
+          << "partition " << p << " row " << i;
+      for (size_t f = 0; f < ra.fields.size(); ++f) {
+        EXPECT_EQ(ra.fields[f], rb.fields[f])
+            << "partition " << p << " row " << i << " field " << f;
+      }
+    }
+  }
+}
+
+/// Full JobStats equality except wall-clock and the spill-only counters
+/// (checked separately: nonzero when forced, zero otherwise). Every
+/// pre-existing counter — movement, fusion, keyed, flat-table, and columnar
+/// telemetry — must be spill-invariant.
+void ExpectSameStats(const JobStats& a, const JobStats& b) {
+  EXPECT_EQ(a.total_shuffle_bytes(), b.total_shuffle_bytes());
+  EXPECT_EQ(a.max_stage_shuffle_bytes(), b.max_stage_shuffle_bytes());
+  EXPECT_EQ(a.peak_partition_bytes(), b.peak_partition_bytes());
+  EXPECT_EQ(a.fused_stages(), b.fused_stages());
+  EXPECT_EQ(a.intermediate_bytes_avoided(), b.intermediate_bytes_avoided());
+  EXPECT_EQ(a.sim_seconds(), b.sim_seconds());
+  EXPECT_EQ(a.key_encode_bytes(), b.key_encode_bytes());
+  EXPECT_EQ(a.hash_build_rows(), b.hash_build_rows());
+  EXPECT_EQ(a.hash_probe_hits(), b.hash_probe_hits());
+  EXPECT_EQ(a.hash_max_chain(), b.hash_max_chain());
+  EXPECT_EQ(a.hash_table_bytes(), b.hash_table_bytes());
+  EXPECT_EQ(a.hash_resizes(), b.hash_resizes());
+  EXPECT_EQ(a.hash_probe_len_max(), b.hash_probe_len_max());
+  EXPECT_EQ(a.columnar_bytes(), b.columnar_bytes());
+  EXPECT_EQ(a.column_to_row_conversions(), b.column_to_row_conversions());
+  ASSERT_EQ(a.stages().size(), b.stages().size());
+  for (size_t i = 0; i < a.stages().size(); ++i) {
+    const StageStats& sa = a.stages()[i];
+    const StageStats& sb = b.stages()[i];
+    SCOPED_TRACE("stage " + std::to_string(i) + " (" + sa.op + ")");
+    EXPECT_EQ(sa.op, sb.op);
+    EXPECT_EQ(sa.scope, sb.scope);
+    EXPECT_EQ(sa.rows_in, sb.rows_in);
+    EXPECT_EQ(sa.rows_out, sb.rows_out);
+    EXPECT_EQ(sa.shuffle_bytes, sb.shuffle_bytes);
+    EXPECT_EQ(sa.total_work_bytes, sb.total_work_bytes);
+    EXPECT_EQ(sa.mem_high_water_bytes, sb.mem_high_water_bytes);
+    EXPECT_EQ(sa.partition_work_bytes, sb.partition_work_bytes);
+    EXPECT_EQ(sa.partition_recv_bytes, sb.partition_recv_bytes);
+    EXPECT_EQ(sa.partition_send_bytes, sb.partition_send_bytes);
+    EXPECT_EQ(sa.key_encode_bytes, sb.key_encode_bytes);
+    EXPECT_EQ(sa.hash_build_rows, sb.hash_build_rows);
+    EXPECT_EQ(sa.hash_probe_hits, sb.hash_probe_hits);
+    EXPECT_EQ(sa.hash_max_chain, sb.hash_max_chain);
+    EXPECT_EQ(sa.hash_table_bytes, sb.hash_table_bytes);
+    EXPECT_EQ(sa.sim_seconds, sb.sim_seconds);
+  }
+}
+
+std::map<std::string, Value> TpchValues(const tpch::TpchData& d) {
+  auto conv = [](const tpch::Table& t) {
+    auto v = exec::RowsToValue(t.rows, t.schema);
+    TRANCE_CHECK(v.ok(), "table conversion");
+    return std::move(v).value();
+  };
+  return {{"Region", conv(d.region)},     {"Nation", conv(d.nation)},
+          {"Customer", conv(d.customer)}, {"Orders", conv(d.orders)},
+          {"Lineitem", conv(d.lineitem)}, {"Part", conv(d.part)},
+          {"Supplier", conv(d.supplier)}, {"Partsupp", conv(d.partsupp)}};
+}
+
+struct ModeRun {
+  bool ok = false;
+  Status status = Status::OK();
+  Dataset out;
+  JobStats stats;
+  std::string explain;
+};
+
+/// Runs the standard route with a configurable cap and spill flag, without
+/// aborting on failure (capped spill-off runs are SUPPOSED to fail).
+ModeRun RunStandardMode(const nrc::Program& q,
+                        const std::map<std::string, Value>& values,
+                        int threads, uint64_t cap, bool spill) {
+  runtime::Cluster cluster(Config(threads, cap));
+  exec::PipelineOptions opts;
+  opts.exec.enable_spill = spill;
+  exec::Executor executor(&cluster, opts.exec);
+  ModeRun r;
+  for (const auto& in : q.inputs) {
+    auto v = values.find(in.name);
+    TRANCE_CHECK(v != values.end(), "missing input");
+    auto schema = runtime::Schema::FromBagType(in.type).ValueOrDie();
+    auto rows = exec::ValueToRows(v->second, schema).ValueOrDie();
+    auto ds = runtime::Source(&cluster, schema, std::move(rows), in.name);
+    if (!ds.ok()) {
+      r.status = ds.status();
+      r.stats = cluster.stats();
+      return r;
+    }
+    executor.Register(in.name, std::move(ds).value());
+  }
+  plan::PlanProgram compiled;
+  auto out = exec::RunStandard(q, &executor, opts, &compiled);
+  r.stats = cluster.stats();
+  if (!out.ok()) {
+    r.status = out.status();
+    return r;
+  }
+  r.ok = true;
+  r.out = std::move(out).value();
+  r.explain = obs::ExplainAnalyze(compiled, r.stats);
+  return r;
+}
+
+struct ShreddedModeRun {
+  bool ok = false;
+  Status status = Status::OK();
+  exec::ShreddedRun run;
+  JobStats stats;
+};
+
+ShreddedModeRun RunShreddedMode(const nrc::Program& q,
+                                const std::map<std::string, Value>& values,
+                                int threads, uint64_t cap, bool spill) {
+  runtime::Cluster cluster(Config(threads, cap));
+  exec::PipelineOptions opts;
+  opts.exec.enable_spill = spill;
+  exec::Executor executor(&cluster, opts.exec);
+  ShreddedModeRun r;
+  int64_t seed = 0;
+  for (const auto& in : q.inputs) {
+    auto v = values.find(in.name);
+    TRANCE_CHECK(v != values.end(), "missing input");
+    Status reg = exec::RegisterShreddedInput(&executor, in.name, in.type,
+                                             v->second, seed);
+    if (!reg.ok()) {
+      r.status = reg;
+      r.stats = cluster.stats();
+      return r;
+    }
+    seed += 1000000;
+  }
+  auto run = exec::RunShredded(q, &executor, opts);
+  r.stats = cluster.stats();
+  if (!run.ok()) {
+    r.status = run.status();
+    return r;
+  }
+  r.ok = true;
+  r.run = std::move(run).value();
+  return r;
+}
+
+void ExpectSameShreddedRows(const exec::ShreddedRun& a,
+                            const exec::ShreddedRun& b) {
+  ExpectSameRows(a.top, b.top);
+  ASSERT_EQ(a.dicts.size(), b.dicts.size());
+  for (size_t i = 0; i < a.dicts.size(); ++i) {
+    SCOPED_TRACE("dict " + a.dicts[i].first);
+    EXPECT_EQ(a.dicts[i].first, b.dicts[i].first);
+    ExpectSameRows(a.dicts[i].second, b.dicts[i].second);
+  }
+}
+
+void ExpectZeroSpill(const JobStats& s) {
+  EXPECT_EQ(s.spill_bytes_written(), 0u);
+  EXPECT_EQ(s.spill_bytes_read(), 0u);
+  EXPECT_EQ(s.spill_runs(), 0u);
+  EXPECT_EQ(s.spill_merge_passes(), 0u);
+}
+
+class SpillSuiteTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  enum Kind { kFlatToNested = 0, kNestedToNested = 1, kNestedToFlat = 2 };
+
+  StatusOr<nrc::Program> Query(Kind kind, int depth) {
+    switch (kind) {
+      case kFlatToNested:
+        return tpch::FlatToNested(depth, tpch::Width::kNarrow);
+      case kNestedToNested:
+        return tpch::NestedToNested(depth, tpch::Width::kNarrow);
+      case kNestedToFlat:
+        return tpch::NestedToFlat(depth, tpch::Width::kNarrow);
+    }
+    return Status::Internal("bad kind");
+  }
+
+  std::map<std::string, Value> Inputs(Kind kind, int depth) {
+    tpch::TpchConfig cfg;
+    cfg.scale = 0.0005;
+    auto values = TpchValues(tpch::Generate(cfg));
+    if (kind == kFlatToNested) return values;
+    auto prep = tpch::FlatToNested(depth, tpch::Width::kNarrow).ValueOrDie();
+    nrc::Interpreter interp;
+    auto nested = interp.EvalProgram(prep, values);
+    TRANCE_CHECK(nested.ok(), "nested input prep");
+    return {{"COP", nested->at("Q")}, {"Part", values.at("Part")}};
+  }
+};
+
+TEST_P(SpillSuiteTest, CappedStandardRunMatchesUncapped) {
+  auto [k, depth] = GetParam();
+  Kind kind = static_cast<Kind>(k);
+  auto q = Query(kind, depth);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto values = Inputs(kind, depth);
+
+  // The paper's FAIL cell: the tiny cap hard-fails without spilling.
+  ModeRun fail = RunStandardMode(*q, values, 1, kTinyCap, false);
+  ASSERT_FALSE(fail.ok);
+  EXPECT_TRUE(fail.status.IsResourceExhausted()) << fail.status.ToString();
+  EXPECT_NE(fail.status.ToString().find("worker memory saturated"),
+            std::string::npos)
+      << fail.status.ToString();
+
+  // The same cap with spilling on completes...
+  ModeRun uncapped = RunStandardMode(*q, values, 1, 0, true);
+  ASSERT_TRUE(uncapped.ok) << uncapped.status.ToString();
+  ModeRun spill1 = RunStandardMode(*q, values, 1, kTinyCap, true);
+  ASSERT_TRUE(spill1.ok) << spill1.status.ToString();
+
+  // ...with identical rows in identical partitions and identical
+  // pre-existing stats, and real spill traffic.
+  ExpectSameRows(uncapped.out, spill1.out);
+  ExpectSameStats(uncapped.stats, spill1.stats);
+  EXPECT_GT(spill1.stats.spill_runs(), 0u);
+  EXPECT_GT(spill1.stats.spill_bytes_written(), 0u);
+  EXPECT_EQ(spill1.stats.spill_bytes_read(),
+            spill1.stats.spill_bytes_written());
+  EXPECT_GT(spill1.stats.spill_merge_passes(), 0u);
+  // The uncapped run (256 MiB default cap) never touches the disk.
+  ExpectZeroSpill(uncapped.stats);
+
+  // Thread-count invariance covers the spill counters too: spill decisions
+  // are byte-threshold-driven and folded in partition order.
+  ModeRun spill4 = RunStandardMode(*q, values, 4, kTinyCap, true);
+  ModeRun spill8 = RunStandardMode(*q, values, 8, kTinyCap, true);
+  ASSERT_TRUE(spill4.ok) << spill4.status.ToString();
+  ASSERT_TRUE(spill8.ok) << spill8.status.ToString();
+  ExpectSameRows(spill1.out, spill4.out);
+  ExpectSameRows(spill1.out, spill8.out);
+  ExpectSameStats(spill1.stats, spill4.stats);
+  ExpectSameStats(spill1.stats, spill8.stats);
+  EXPECT_EQ(spill1.stats.spill_bytes_written(),
+            spill4.stats.spill_bytes_written());
+  EXPECT_EQ(spill1.stats.spill_bytes_written(),
+            spill8.stats.spill_bytes_written());
+  EXPECT_EQ(spill1.stats.spill_runs(), spill4.stats.spill_runs());
+  EXPECT_EQ(spill1.stats.spill_runs(), spill8.stats.spill_runs());
+  EXPECT_EQ(spill1.stats.spill_merge_passes(),
+            spill4.stats.spill_merge_passes());
+  EXPECT_EQ(spill1.stats.spill_merge_passes(),
+            spill8.stats.spill_merge_passes());
+}
+
+TEST_P(SpillSuiteTest, CappedShreddedRunMatchesUncapped) {
+  auto [k, depth] = GetParam();
+  Kind kind = static_cast<Kind>(k);
+  auto q = Query(kind, depth);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto values = Inputs(kind, depth);
+
+  ShreddedModeRun uncapped = RunShreddedMode(*q, values, 1, 0, true);
+  ASSERT_TRUE(uncapped.ok) << uncapped.status.ToString();
+  ShreddedModeRun spill1 = RunShreddedMode(*q, values, 1, kTinyCap, true);
+  ASSERT_TRUE(spill1.ok) << spill1.status.ToString();
+  ShreddedModeRun spill4 = RunShreddedMode(*q, values, 4, kTinyCap, true);
+  ASSERT_TRUE(spill4.ok) << spill4.status.ToString();
+  ShreddedModeRun spill8 = RunShreddedMode(*q, values, 8, kTinyCap, true);
+  ASSERT_TRUE(spill8.ok) << spill8.status.ToString();
+
+  ExpectSameShreddedRows(uncapped.run, spill1.run);
+  ExpectSameStats(uncapped.stats, spill1.stats);
+  EXPECT_GT(spill1.stats.spill_runs(), 0u);
+  ExpectZeroSpill(uncapped.stats);
+
+  ExpectSameShreddedRows(spill1.run, spill4.run);
+  ExpectSameShreddedRows(spill1.run, spill8.run);
+  ExpectSameStats(spill1.stats, spill4.stats);
+  ExpectSameStats(spill1.stats, spill8.stats);
+  EXPECT_EQ(spill1.stats.spill_bytes_written(),
+            spill4.stats.spill_bytes_written());
+  EXPECT_EQ(spill1.stats.spill_bytes_written(),
+            spill8.stats.spill_bytes_written());
+}
+
+std::string SpillParamName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* kKinds[] = {"flat_to_nested", "nested_to_nested",
+                                 "nested_to_flat"};
+  return std::string(kKinds[std::get<0>(info.param)]) + "_depth" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7NarrowSuite, SpillSuiteTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 2)),
+                         SpillParamName);
+
+// --- observability plumbing ----------------------------------------------
+
+TEST(SpillRuntimeTest, CountersVisibleInJsonAndExplain) {
+  auto q = tpch::FlatToNested(2, tpch::Width::kNarrow);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.0005;
+  auto values = TpchValues(tpch::Generate(cfg));
+
+  ModeRun forced = RunStandardMode(*q, values, 1, kTinyCap, true);
+  ASSERT_TRUE(forced.ok) << forced.status.ToString();
+  EXPECT_GT(forced.stats.spill_bytes_written(), 0u);
+
+  std::string json = obs::JobStatsToJson(forced.stats);
+  EXPECT_NE(json.find("\"spill_bytes_written\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spill_bytes_read\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spill_runs\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spill_merge_passes\""), std::string::npos) << json;
+
+  EXPECT_NE(forced.explain.find(" spill("), std::string::npos)
+      << forced.explain;
+
+  // Unforced: no spill clause in EXPLAIN, but the JSON totals still carry
+  // the (zero) keys so bench_diff can gate on them.
+  ModeRun easy = RunStandardMode(*q, values, 1, 0, true);
+  ASSERT_TRUE(easy.ok) << easy.status.ToString();
+  ExpectZeroSpill(easy.stats);
+  EXPECT_EQ(easy.explain.find(" spill("), std::string::npos) << easy.explain;
+  std::string easy_json = obs::JobStatsToJson(easy.stats);
+  EXPECT_NE(easy_json.find("\"spill_bytes_written\""), std::string::npos)
+      << easy_json;
+}
+
+TEST(SpillRuntimeTest, DisabledSpillKeepsHistoricalFailureShape) {
+  // enable_spill=false must reproduce the pre-spill world exactly: the
+  // ResourceExhausted message names the stage, the partition, the observed
+  // bytes, and the configured cap.
+  auto q = tpch::FlatToNested(1, tpch::Width::kNarrow);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.0005;
+  auto values = TpchValues(tpch::Generate(cfg));
+  ModeRun fail = RunStandardMode(*q, values, 1, kTinyCap, false);
+  ASSERT_FALSE(fail.ok);
+  std::string msg = fail.status.ToString();
+  EXPECT_TRUE(fail.status.IsResourceExhausted()) << msg;
+  EXPECT_NE(msg.find("worker memory saturated in"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("partition"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("holds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bytes) > cap"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(" + std::to_string(kTinyCap) + " bytes)"),
+            std::string::npos)
+      << msg;
+  ExpectZeroSpill(fail.stats);
+}
+
+// --- SpillManager unit tests ----------------------------------------------
+
+std::vector<Row> MakeRows(size_t n, const std::string& salt) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Row{{Field::Int(static_cast<int64_t>(i)),
+                        Field::Str(salt + std::to_string(i)),
+                        Field::Real(i * 0.5)}});
+  }
+  return rows;
+}
+
+TEST(SpillManagerTest, RunNamingIsDeterministicAndSanitized) {
+  runtime::spill::SpillConfig cfg;
+  cfg.dir = ::testing::TempDir();
+  runtime::spill::SpillManager m(cfg);
+  std::string p = m.RunPath(7, "shuffle(join/x y)", 3, 2);
+  // Same inputs, same path; hostile characters flattened to '_'.
+  EXPECT_EQ(p, m.RunPath(7, "shuffle(join/x y)", 3, 2));
+  EXPECT_NE(p.find("job7/"), std::string::npos) << p;
+  EXPECT_NE(p.find("shuffle_join_x_y_-p3-r2.trs"), std::string::npos) << p;
+  EXPECT_EQ(p.find(' ', m.root_dir().size()), std::string::npos) << p;
+}
+
+TEST(SpillManagerTest, SpillAndRestorePreservesOrderAndReleasesDisk) {
+  runtime::spill::SpillConfig cfg;
+  cfg.dir = ::testing::TempDir();
+  cfg.max_run_bytes = 1024;  // force several runs
+  runtime::spill::SpillManager m(cfg);
+  std::vector<Row> rows = MakeRows(500, "value-");
+  std::vector<Row> expected = rows;
+  runtime::spill::SpillCounters c;
+  Status s = m.SpillAndRestoreRows(1, "stage(x)", 0, &rows, &c);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  ASSERT_EQ(rows.size(), expected.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].fields.size(), expected[i].fields.size()) << i;
+    for (size_t f = 0; f < rows[i].fields.size(); ++f) {
+      EXPECT_EQ(rows[i].fields[f], expected[i].fields[f])
+          << "row " << i << " field " << f;
+    }
+  }
+  EXPECT_GT(c.runs, 1u);  // max_run_bytes forced a split
+  EXPECT_EQ(c.merge_passes, 1u);
+  EXPECT_GT(c.bytes_written, 0u);
+  EXPECT_EQ(c.bytes_read, c.bytes_written);
+  // Runs are removed after restore: nothing left on disk or in the budget.
+  EXPECT_EQ(m.on_disk_bytes(), 0u);
+  EXPECT_EQ(m.total_runs(), c.runs);
+}
+
+TEST(SpillManagerTest, ByteBudgetExhaustionNamesBudgetAndUsage) {
+  runtime::spill::SpillConfig cfg;
+  cfg.dir = ::testing::TempDir();
+  cfg.max_spill_bytes = 64;  // smaller than any real run
+  runtime::spill::SpillManager m(cfg);
+  std::vector<Row> rows = MakeRows(100, "big-");
+  runtime::spill::SpillCounters c;
+  Status s = m.SpillAndRestoreRows(2, "stage(y)", 0, &rows, &c);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_NE(s.ToString().find("spill byte budget exhausted"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("budget"), std::string::npos) << s.ToString();
+}
+
+TEST(SpillManagerTest, RemoveRunReleasesBudget) {
+  runtime::spill::SpillConfig cfg;
+  cfg.dir = ::testing::TempDir();
+  cfg.max_spill_bytes = 16ull << 10;
+  runtime::spill::SpillManager m(cfg);
+  std::vector<Row> rows = MakeRows(50, "r-");
+  runtime::spill::SpillCounters c;
+  std::string path = m.RunPath(3, "budget", 0, 0);
+  ASSERT_TRUE(m.WriteRowsRun(path, rows, &c).ok());
+  EXPECT_GT(m.on_disk_bytes(), 0u);
+  // A second identical run would fit or not — irrelevant; removing the first
+  // must return the budget to zero either way.
+  m.RemoveRun(path);
+  EXPECT_EQ(m.on_disk_bytes(), 0u);
+  // With the budget released the same run can be written again.
+  ASSERT_TRUE(m.WriteRowsRun(path, rows, &c).ok());
+  m.RemoveRun(path);
+}
+
+TEST(SpillManagerTest, BlockRunsRoundTripThroughReadRun) {
+  runtime::spill::SpillConfig cfg;
+  cfg.dir = ::testing::TempDir();
+  runtime::spill::SpillManager m(cfg);
+  runtime::Schema schema(
+      {{"k", nrc::Type::Int()}, {"s", nrc::Type::String()}});
+  std::vector<Row> rows = MakeRows(64, "blk-");
+  for (auto& r : rows) r.fields.pop_back();  // match the two-column schema
+  runtime::column::PartitionBlock block =
+      runtime::column::PartitionBlock::FromRows(schema, rows);
+  ASSERT_FALSE(block.ragged());
+
+  runtime::spill::SpillCounters c;
+  std::string path = m.RunPath(4, "blocks", 1, 0);
+  ASSERT_TRUE(m.WriteBlockRun(path, block, &c).ok());
+  std::vector<Row> back;
+  uint64_t block_rows = 0;
+  ASSERT_TRUE(m.ReadRun(path, &back, &block_rows, &c).ok());
+  m.RemoveRun(path);
+
+  EXPECT_EQ(block_rows, rows.size());
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    for (size_t f = 0; f < back[i].fields.size(); ++f) {
+      EXPECT_EQ(back[i].fields[f], rows[i].fields[f])
+          << "row " << i << " field " << f;
+    }
+  }
+  EXPECT_EQ(c.bytes_read, c.bytes_written);
+}
+
+}  // namespace
+}  // namespace trance
