@@ -128,6 +128,7 @@ RunResult TimedRun(const std::string& name, runtime::Cluster* cluster,
   r.spill_bytes_read = stats.spill_bytes_read();
   r.spill_runs = stats.spill_runs();
   r.spill_merge_passes = stats.spill_merge_passes();
+  r.spill_rowify_avoided = stats.spill_rowify_avoided();
   r.stats = stats;
   r.metrics = cluster->metrics().Snapshot();
   r.ok = st.ok();
@@ -262,6 +263,8 @@ Status WriteBenchReport(const std::string& bench_name,
     w.Uint(r.spill_runs);
     w.Key("spill_merge_passes");
     w.Uint(r.spill_merge_passes);
+    w.Key("spill_rowify_avoided");
+    w.Uint(r.spill_rowify_avoided);
     w.Key("out_rows");
     w.Uint(r.out_rows);
     w.Key("job");

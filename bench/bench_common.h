@@ -75,6 +75,10 @@ struct RunResult {
   uint64_t spill_bytes_read = 0;
   uint64_t spill_runs = 0;
   uint64_t spill_merge_passes = 0;
+  /// Rows restored from columnar spill records without a disk-side
+  /// row-form conversion (PR 10): block-resident partitions spill and
+  /// restore in columnar form end to end.
+  uint64_t spill_rowify_avoided = 0;
   size_t out_rows = 0;
   /// Full per-stage telemetry of the run (partition histograms, movement
   /// decisions, straggler summary) for the JSON bench report.

@@ -108,6 +108,7 @@ const ScalarRule kScalarRules[] = {
     {"spill_bytes_read", Policy::kExact},
     {"spill_runs", Policy::kExact},
     {"spill_merge_passes", Policy::kExact},
+    {"spill_rowify_avoided", Policy::kExact},
     {"sim_seconds", Policy::kSimTime},
     {"recovery_sim_seconds", Policy::kSimTime},
     {"wall_seconds", Policy::kWallSoft},

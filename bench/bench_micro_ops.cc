@@ -11,8 +11,10 @@
 // against the historical row-vector Field dispatch (PR 8). main()
 // additionally runs fixed-size rows/sec regression passes over dedup, join
 // build/probe, and nest — codec on/off to BENCH_micro_key_codec.json, flat
-// table on/off to BENCH_micro_flat_hash.json, and columnar blocks on/off
-// (plus the raw scan comparison) to BENCH_micro_columnar.json — before the
+// table on/off to BENCH_micro_flat_hash.json, columnar blocks on/off
+// (plus the raw scan comparison) to BENCH_micro_columnar.json, and the
+// block-resident vs pack-per-stage comparison to
+// BENCH_micro_resident.json — before the
 // google-benchmark suite starts.
 #include <benchmark/benchmark.h>
 
@@ -724,6 +726,111 @@ Status RunColumnarAblation() {
   return bench::WriteBenchReport("micro_columnar", results);
 }
 
+// Resident-vs-pack ablation of PR 10: partitions now LIVE as typed blocks,
+// so a keyed chain (distinct -> nest) crosses its stage boundary without any
+// per-stage pack/unpack. The chain.resident run (columnar on) must report
+// column_to_row_conversions == 0 — asserted in-binary, the PR's acceptance
+// property — while chain.rows (columnar off) provides the historical
+// row-path comparison with bit-identical pre-existing stats. Two recorded
+// micro runs then quantify the boundary tax itself on a fixed 64k-row
+// partition crossing three simulated stage boundaries: repack.per_stage
+// re-packs (FromRows) and re-materializes (ToRows) at every boundary — the
+// PR-8/9 costume — while repack.resident crosses the same boundaries with
+// block-to-block AppendRowFrom copies, never touching rows (recorded, not
+// hard-asserted — absolute ratios are machine-dependent). Results land in
+// BENCH_micro_resident.json.
+Status RunResidentAblation() {
+  std::vector<bench::RunResult> results;
+  const int64_t n = 200000;
+  for (bool columnar : {true, false}) {
+    ClusterConfig cfg{.num_partitions = 8};
+    Cluster cluster(cfg);
+    cluster.set_key_codec_enabled(true);
+    cluster.set_columnar_enabled(columnar);
+    const std::string suffix = columnar ? ".resident" : ".rows";
+
+    Dataset dup = MakeDup(&cluster, n, n / 16, 9);
+    size_t rows = 0;
+    bench::RunResult r =
+        bench::TimedRun("chain" + suffix, &cluster, [&]() -> Status {
+          TRANCE_ASSIGN_OR_RETURN(Dataset deduped,
+                                  runtime::Distinct(&cluster, dup, "dedup"));
+          TRANCE_ASSIGN_OR_RETURN(
+              Dataset nested,
+              runtime::NestGroup(&cluster, deduped, {0}, {1}, "bag", "nest"));
+          rows = nested.NumRows();
+          return Status::OK();
+        });
+    r.out_rows = rows;
+    results.push_back(std::move(r));
+  }
+  {
+    const bench::RunResult& resident = results[0];
+    const bench::RunResult& row_path = results[1];
+    TRANCE_CHECK(resident.ok && row_path.ok, "resident ablation run failed");
+    TRANCE_CHECK(resident.out_rows == row_path.out_rows,
+                 "resident ablation: result rows differ");
+    TRANCE_CHECK(resident.sim_s == row_path.sim_s &&
+                     resident.shuffle_bytes == row_path.shuffle_bytes &&
+                     resident.hash_build_rows == row_path.hash_build_rows,
+                 "resident ablation: pre-existing stats differ");
+    TRANCE_CHECK(resident.columnar_bytes > 0,
+                 "resident ablation: no blocks built");
+    TRANCE_CHECK(resident.column_to_row_conversions == 0,
+                 "resident ablation: block-resident chain converted rows");
+    TRANCE_CHECK(row_path.columnar_bytes == 0 &&
+                     row_path.column_to_row_conversions == 0,
+                 "resident ablation: counters leak into the row path");
+  }
+
+  // Boundary-tax comparison (recorded runs, column_scan idiom).
+  {
+    ClusterConfig cfg{.num_partitions = 1};
+    Cluster cluster(cfg);
+    std::vector<Row> rows = MakeScanRows(1 << 16);
+    const int reps = 40;
+    const int boundaries = 3;
+    double sink = 0;
+    bench::RunResult r =
+        bench::TimedRun("repack.per_stage", &cluster, [&]() -> Status {
+          for (int rep = 0; rep < reps; ++rep) {
+            std::vector<Row> cur = rows;
+            for (int b = 0; b < boundaries; ++b) {
+              column::PartitionBlock blk =
+                  column::PartitionBlock::FromRows(KvSchema(), cur);
+              cur = blk.ToRows();
+            }
+            sink += static_cast<double>(cur.size());
+          }
+          return Status::OK();
+        });
+    r.out_rows = rows.size() * reps;
+    results.push_back(std::move(r));
+
+    r = bench::TimedRun("repack.resident", &cluster, [&]() -> Status {
+      for (int rep = 0; rep < reps; ++rep) {
+        column::PartitionBlock cur =
+            column::PartitionBlock::FromRows(KvSchema(), rows);
+        for (int b = 0; b < boundaries; ++b) {
+          column::PartitionBlock next(KvSchema());
+          const size_t nrows = cur.NumRows();
+          for (size_t i = 0; i < nrows; ++i) next.AppendRowFrom(cur, i);
+          cur = std::move(next);
+        }
+        sink += static_cast<double>(cur.NumRows());
+      }
+      return Status::OK();
+    });
+    r.out_rows = rows.size() * reps;
+    results.push_back(std::move(r));
+    benchmark::DoNotOptimize(sink);
+  }
+
+  bench::PrintHeader("resident ablation (rows/s = rows / wall)");
+  for (const auto& r : results) bench::PrintResult(r);
+  return bench::WriteBenchReport("micro_resident", results);
+}
+
 // Fixed-size regression pass over the same keyed workloads for the
 // out-of-core spill path of PR 9. The .spill_forced runs use a 256 KiB
 // per-partition memory cap — far under the working set, so shuffles, keyed
@@ -817,6 +924,7 @@ Status RunSpillAblation() {
 
 int main(int argc, char** argv) {
   TRANCE_CHECK(trance::RunKeyCodecAblation().ok(), "key codec ablation");
+  TRANCE_CHECK(trance::RunResidentAblation().ok(), "resident ablation");
   TRANCE_CHECK(trance::RunFlatHashAblation().ok(), "flat hash ablation");
   TRANCE_CHECK(trance::RunColumnarAblation().ok(), "columnar ablation");
   TRANCE_CHECK(trance::RunSpillAblation().ok(), "spill ablation");

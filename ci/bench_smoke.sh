@@ -5,7 +5,7 @@
 # out-of-core spill (TRANCE_SPILL_FORCE=1 shrinks the memory cap so every
 # route must survive through disk runs), each diffed against its own
 # baseline — plus the ablation reports of bench_micro_ops (its
-# google-benchmark suite filtered out), then runs three machine-readable
+# google-benchmark suite filtered out), then runs four machine-readable
 # drift gates:
 #
 #   1. docs:     every key in the emitted BENCH_*.json reports AND in the
@@ -21,6 +21,10 @@
 #                wall-time warnings). A self-diff must pass and a tampered
 #                report must fail, so the gate itself is exercised on every
 #                run. Refresh workflow: EXPERIMENTS.md.
+#   4. resident: the columnar fig7 pass must keep its summed
+#                column_to_row_conversions under a pinned bound (>= 90%
+#                below the PR-9 pack-per-stage total) — partitions are
+#                block-resident, not repacked per stage.
 #
 # Usage: ci/bench_smoke.sh [build-dir]   (default: build-bench-smoke)
 set -euo pipefail
@@ -110,6 +114,22 @@ for report in "$OUT_DIR"/BENCH_*.json; do
     fail=1
   fi
 done
+
+# --- gate 4: block-resident conversion bound -----------------------------
+# Partitions are block-resident end to end (PR 10): the columnar fig7 pass
+# must keep column_to_row_conversions at (near) zero. The bound is pinned at
+# a >= 90% reduction from the PR-9 pack-per-stage total (857,851); the
+# block-resident paths actually report 0, so any operator that regresses to
+# materializing block inputs trips this long before the baseline diff churns.
+CONV_BOUND=85785
+conv_total=$(grep -oE '"column_to_row_conversions":[0-9]+' \
+  "$OUT_DIR/BENCH_fig7_smoke.json" |
+  awk -F: '{s += $2} END {print s + 0}')
+if [ "$conv_total" -gt "$CONV_BOUND" ]; then
+  echo "CONVERSION BOUND EXCEEDED: fig7 columnar column_to_row_conversions" \
+    "total $conv_total > $CONV_BOUND (block-resident bound)"
+  fail=1
+fi
 
 # A synthetically regressed report must hard-fail, proving the gate bites.
 tampered="$OUT_DIR/tampered.json"

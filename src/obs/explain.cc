@@ -180,6 +180,13 @@ struct NodeStats {
     }
     return n;
   }
+  uint64_t spill_rowify_avoided() const {
+    uint64_t n = 0;
+    for (const auto& e : entries) {
+      if (e.owns_stage) n += e.stage->spill_rowify_avoided;
+    }
+    return n;
+  }
   uint64_t injected_faults() const {
     uint64_t n = 0;
     for (const auto& e : entries) {
@@ -266,8 +273,11 @@ std::string StatsSuffix(const NodeStats& ns) {
   if (ns.spill_bytes_written() > 0) {
     os << " spill(w=" << FormatBytes(ns.spill_bytes_written())
        << " r=" << FormatBytes(ns.spill_bytes_read())
-       << " runs=" << ns.spill_runs() << " merges=" << ns.spill_merge_passes()
-       << ")";
+       << " runs=" << ns.spill_runs() << " merges=" << ns.spill_merge_passes();
+    if (ns.spill_rowify_avoided() > 0) {
+      os << " rowify_avoided=" << ns.spill_rowify_avoided();
+    }
+    os << ")";
   }
   if (ns.bytes_avoided() > 0) {
     os << " avoided=" << FormatBytes(ns.bytes_avoided());
@@ -393,7 +403,11 @@ std::string ExplainAnalyze(const plan::PlanProgram& program,
     os << " spill(w=" << FormatBytes(stats.spill_bytes_written())
        << " r=" << FormatBytes(stats.spill_bytes_read())
        << " runs=" << stats.spill_runs()
-       << " merges=" << stats.spill_merge_passes() << ")";
+       << " merges=" << stats.spill_merge_passes();
+    if (stats.spill_rowify_avoided() > 0) {
+      os << " rowify_avoided=" << stats.spill_rowify_avoided();
+    }
+    os << ")";
   }
   if (stats.injected_faults() > 0) {
     os << " injected_faults=" << stats.injected_faults()

@@ -126,6 +126,8 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
       w->Uint(s.spill_runs);
       w->Key("spill_merge_passes");
       w->Uint(s.spill_merge_passes);
+      w->Key("spill_rowify_avoided");
+      w->Uint(s.spill_rowify_avoided);
     }
     if (s.injected_faults > 0) {
       w->Key("injected_faults");
@@ -210,6 +212,8 @@ void WriteJobStats(const runtime::JobStats& stats, JsonWriter* w) {
   w->Uint(stats.spill_runs());
   w->Key("spill_merge_passes");
   w->Uint(stats.spill_merge_passes());
+  w->Key("spill_rowify_avoided");
+  w->Uint(stats.spill_rowify_avoided());
   w->Key("injected_faults");
   w->Uint(stats.injected_faults());
   w->Key("retries");

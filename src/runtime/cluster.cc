@@ -117,6 +117,11 @@ void Cluster::PublishStage(size_t stage_index, const StageStats& s) {
                   "stream-merge passes over spill runs")
       ->Add(s.spill_merge_passes);
   metrics_
+      .GetCounter("trance_spill_rowify_avoided_total",
+                  "rows restored from columnar spill records without "
+                  "row-form conversion")
+      ->Add(s.spill_rowify_avoided);
+  metrics_
       .GetGauge("trance_max_stage_shuffle_bytes",
                 "largest single-stage shuffle")
       ->SetMax(static_cast<double>(s.shuffle_bytes));

@@ -88,6 +88,7 @@ void NoteSpill(Cluster* cluster, StageStats* stage, const std::string& op,
   stage->spill_bytes_read += c.bytes_read;
   stage->spill_runs += c.runs;
   stage->spill_merge_passes += c.merge_passes;
+  stage->spill_rowify_avoided += c.rowify_avoided;
   obs::EventLog& log = obs::GlobalEventLog();
   if (!log.enabled()) return;
   obs::Event(&log, "spill")
@@ -99,6 +100,7 @@ void NoteSpill(Cluster* cluster, StageStats* stage, const std::string& op,
       .U64("bytes_read", c.bytes_read)
       .U64("runs", c.runs)
       .U64("merge_passes", c.merge_passes)
+      .U64("rowify_avoided", c.rowify_avoided)
       .Emit();
 }
 
@@ -153,12 +155,138 @@ void AccumulateHistogram(std::vector<uint64_t>* into,
   for (size_t i = 0; i < add.size(); ++i) (*into)[i] += add[i];
 }
 
-/// Row lists entering an operator's partition-local phase, with the
+/// Read view over one partition in either residence. Operators consume their
+/// inputs through this view: block-resident partitions serve cell reads,
+/// null probes, sizes, and key encoding straight from the column arenas —
+/// only MaterializeRow crosses the representation boundary, and only the
+/// legacy keyed path counts those crossings (see column_to_row_conversions
+/// in docs/METRICS.md). Both residences observe bit-identical Field values,
+/// so everything derived from a view is residence-invariant.
+struct PartView {
+  const std::vector<Row>* rows = nullptr;
+  const column::PartitionBlock* block = nullptr;
+
+  static PartView Of(const PartitionStore& s, size_t p) {
+    PartView v;
+    if (s.block_resident()) {
+      v.block = &s.block(p);
+    } else {
+      v.rows = &s.rows(p);
+    }
+    return v;
+  }
+  /// A view over a plain row list (broadcast copies, collected rows).
+  static PartView OfRowList(const std::vector<Row>& r) {
+    PartView v;
+    v.rows = &r;
+    return v;
+  }
+
+  bool block_backed() const { return block != nullptr; }
+  size_t size() const { return block != nullptr ? block->NumRows() : rows->size(); }
+
+  /// Materializes row i (transient unless the caller retains it; the legacy
+  /// keyed containers do retain, which is why they count conversions).
+  Row MaterializeRow(size_t i) const {
+    return block != nullptr ? block->RowAt(i) : (*rows)[i];
+  }
+  Field FieldAt(size_t i, size_t c) const {
+    return block != nullptr ? block->FieldAt(i, c) : (*rows)[i].fields[c];
+  }
+  bool IsNullAt(size_t i, size_t c) const {
+    return block != nullptr ? block->IsNull(i, c)
+                            : (*rows)[i].fields[c].is_null();
+  }
+  bool HasNullKeyAt(size_t i, const std::vector<int>& cols) const {
+    for (int c : cols) {
+      if (IsNullAt(i, static_cast<size_t>(c))) return true;
+    }
+    return false;
+  }
+  /// RowDeepSize of row i without materializing it.
+  uint64_t RowBytes(size_t i) const {
+    return block != nullptr ? block->RowBytesAt(i) : RowDeepSize((*rows)[i]);
+  }
+  /// Key fields of row i at `cols` (group/key storage).
+  std::vector<Field> KeyFields(size_t i, const std::vector<int>& cols) const {
+    std::vector<Field> out;
+    out.reserve(cols.size());
+    for (int c : cols) out.push_back(FieldAt(i, static_cast<size_t>(c)));
+    return out;
+  }
+  /// Encodes the key columns of row i; byte-identical to
+  /// enc->Encode(MaterializeRow(i), cols) — block cells append incrementally
+  /// from the arenas, ragged blocks and row lists encode the row form.
+  StatusOr<key_codec::EncodedKeyView> EncodeKey(key_codec::KeyEncoder* enc,
+                                                size_t i,
+                                                const std::vector<int>& cols) const {
+    if (block == nullptr) return enc->Encode((*rows)[i], cols);
+    if (block->ragged()) return enc->Encode(block->RowAt(i), cols);
+    enc->Begin();
+    for (int c : cols) {
+      TRANCE_RETURN_NOT_OK(enc->Append(block->FieldAt(i, static_cast<size_t>(c))));
+    }
+    return enc->Finish();
+  }
+  /// Encodes every column of row i (whole-row membership keys, e.g.
+  /// Distinct); byte-identical to enc->EncodeRow(MaterializeRow(i)).
+  StatusOr<key_codec::EncodedKeyView> EncodeAllCols(
+      key_codec::KeyEncoder* enc, size_t i) const {
+    if (block == nullptr) return enc->EncodeRow((*rows)[i]);
+    if (block->ragged()) return enc->EncodeRow(block->RowAt(i));
+    enc->Begin();
+    for (size_t c = 0; c < block->NumCols(); ++c) {
+      TRANCE_RETURN_NOT_OK(enc->Append(block->FieldAt(i, c)));
+    }
+    return enc->Finish();
+  }
+};
+
+/// Append-only writer over one output partition in whichever residence the
+/// operator chose at init (InitBlocks/InitRows). Appends never reserve, so a
+/// block partition's ByteFootprint is a pure function of the append sequence
+/// — the invariant every columnar_bytes charge and the spill/restore replay
+/// rely on. The sink itself charges nothing; callers read the block's
+/// footprint after their loop, into the partition's own stat slot.
+struct PartSink {
+  PartitionStore* store;
+  size_t p;
+
+  void Append(const Row& r) {
+    if (store->block_resident()) {
+      store->block(p).AppendRow(r);
+    } else {
+      store->rows(p).push_back(r);
+    }
+  }
+  void Append(Row&& r) {
+    if (store->block_resident()) {
+      store->block(p).AppendRow(r);
+    } else {
+      store->rows(p).push_back(std::move(r));
+    }
+  }
+  /// Row i of `v`, column-to-column when both sides are blocks.
+  void AppendFrom(const PartView& v, size_t i) {
+    if (store->block_resident()) {
+      if (v.block != nullptr) {
+        store->block(p).AppendRowFrom(*v.block, i);
+      } else {
+        store->block(p).AppendRow((*v.rows)[i]);
+      }
+    } else {
+      store->rows(p).push_back(v.MaterializeRow(i));
+    }
+  }
+};
+
+/// Partitions entering an operator's partition-local phase, in whichever
+/// residence the producing shuffle (or reused input) holds them, with the
 /// deep-size footprint of each partition. The bytes ride along from the
 /// shuffle (where every row was sized exactly once) so the work meter and
 /// memory check never re-walk rows a shuffle already sized.
 struct ShuffledParts {
-  std::vector<std::vector<Row>> parts;
+  PartitionStore store;
   std::vector<uint64_t> bytes;
 };
 
@@ -174,6 +302,15 @@ struct ShuffledParts {
 /// the movement histograms are merged in partition order at the phase-1
 /// barrier, so output and stats are identical for any thread count.
 ///
+/// Columnar mode moves columns, not rows: the map side routes cells
+/// block-to-block straight out of the resident input block (a row-resident
+/// input — the legacy keyed handoff — packs once, counted), and the fetch
+/// side concatenates the per-target buckets into the resident output block,
+/// so no row materializes on either side. Routing hashes
+/// (PartitionBlock::HashRowOn == RowHashOn) and per-row sizes (RowBytesAt ==
+/// RowDeepSize) are computed from the identical Field values, so placement
+/// and every movement stat are bit-identical either way.
+///
 /// Fault model: phase-1 (map side) tasks read only the immutable input, so a
 /// crash fault re-runs them after discarding the partition's buckets; phase-2
 /// (fetch side) consumes the buckets destructively via move, so its faults
@@ -183,15 +320,7 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
                                      const std::vector<int>& key_cols,
                                      StageStats* stage) {
   const size_t n = static_cast<size_t>(cluster->num_partitions());
-  const size_t in_n = in.partitions.size();
-  // Columnar mode moves columns, not rows: the map side packs its partition
-  // into a typed block and routes cells block-to-block (zero Row
-  // materializations map-side); the fetch side materializes rows out of the
-  // received blocks in the same fixed source order the row path uses.
-  // Routing hashes (PartitionBlock::HashRowOn == RowHashOn) and per-row
-  // sizes (RowBytesAt == RowDeepSize) are computed from the identical Field
-  // values, so placement and every movement stat are bit-identical either
-  // way.
+  const size_t in_n = in.NumPartitions();
   const bool columnar = cluster->columnar_enabled();
 
   struct SourceBuckets {
@@ -211,30 +340,40 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
         b.bytes.assign(n, 0);
         b.moved.assign(n, 0);
         if (columnar) {
-          column::PartitionBlock in_block =
-              column::PartitionBlock::FromRows(in.schema, in.partitions[p]);
+          // Block-resident inputs route out of their own arenas; only a
+          // row-resident input (the legacy keyed handoff) pays for a pack
+          // here, and that pack is what map_col_bytes charges for it.
+          column::PartitionBlock packed;
+          const column::PartitionBlock* in_block = nullptr;
+          if (in.store.block_resident()) {
+            in_block = &in.store.block(p);
+          } else {
+            packed = column::PartitionBlock::FromRows(in.schema,
+                                                      in.store.rows(p));
+            map_col_bytes[p] += packed.ByteFootprint();
+            in_block = &packed;
+          }
           b.blocks.assign(n, column::PartitionBlock(in.schema));
-          const size_t rows = in_block.NumRows();
+          const size_t rows = in_block->NumRows();
           for (size_t i = 0; i < rows; ++i) {
             size_t target = static_cast<size_t>(
-                cluster->PartitionOf(in_block.HashRowOn(i, key_cols)));
-            uint64_t sz = in_block.RowBytesAt(i);
+                cluster->PartitionOf(in_block->HashRowOn(i, key_cols)));
+            uint64_t sz = in_block->RowBytesAt(i);
             b.bytes[target] += sz;
             if (target != p) {
               b.moved[target] += sz;
               b.sent += sz;
               ++b.moved_rows;
             }
-            b.blocks[target].AppendRowFrom(in_block, i);
+            b.blocks[target].AppendRowFrom(*in_block, i);
           }
-          map_col_bytes[p] += in_block.ByteFootprint();
           for (const auto& tb : b.blocks) {
             map_col_bytes[p] += tb.ByteFootprint();
           }
           return;
         }
         b.rows.resize(n);
-        for (const auto& row : in.partitions[p]) {
+        for (const auto& row : in.store.rows(p)) {
           // key_codec::KeyHashOn is the codec's key hash and is identical to
           // RowHashOn, so shuffle routing never depends on the codec mode.
           size_t target = static_cast<size_t>(
@@ -267,15 +406,21 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
   }
 
   ShuffledParts out;
-  out.parts.resize(n);
+  if (columnar) {
+    out.store.InitBlocks(n, in.schema);
+  } else {
+    out.store.InitRows(n);
+  }
   out.bytes.assign(n, 0);
-  std::vector<uint64_t> fetch_rowify(n, 0);
+  std::vector<uint64_t> fetch_col_bytes(n, 0);
 
   // Fetch-side spill (runtime/spill.h): a target whose total received bytes
   // exceed the spill threshold writes one run per non-empty source bucket
   // (clearing the bucket as it goes), then stream-merges the runs back in
   // fixed source order — the identical row sequence the in-memory
-  // concatenation produces. The spill decision and every run are pure
+  // concatenation produces. Columnar targets restore straight into the
+  // resident output block (each block-record row counts into rowify_avoided
+  // instead of materializing). The spill decision and every run are pure
   // functions of the routed bytes, and the per-target counter slots are
   // folded in target order after the barrier, so results and stats stay
   // thread-count-invariant.
@@ -307,12 +452,16 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
       runs.push_back(std::move(path));
     }
     // One merge pass: streaming the runs in write order restores the exact
-    // source-order concatenation. Block records materialize rows through
-    // ReadRun's block_rows count, which lands in the same fetch_rowify slot
-    // the in-memory block path uses.
+    // source-order concatenation. ReadRunIntoBlock replays the same per-row
+    // append sequence the in-memory concatenation performs, so the restored
+    // block's footprint equals the never-spilled one.
     for (const std::string& path : runs) {
-      TRANCE_RETURN_NOT_OK(sm->ReadRun(
-          path, &out.parts[t], columnar ? &fetch_rowify[t] : nullptr, c));
+      if (columnar) {
+        TRANCE_RETURN_NOT_OK(
+            sm->ReadRunIntoBlock(path, &out.store.block(t), c));
+      } else {
+        TRANCE_RETURN_NOT_OK(sm->ReadRun(path, &out.store.rows(t), nullptr, c));
+      }
     }
     for (const std::string& path : runs) sm->RemoveRun(path);
     c->merge_passes += 1;
@@ -322,37 +471,37 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       stage->op + ".shuffle_fetch", n, stage,
       [&](size_t t) {
+        bool spilled = false;
         if (spill_on) {
           uint64_t total_bytes = 0;
           for (size_t p = 0; p < in_n; ++p) total_bytes += buckets[p].bytes[t];
           if (total_bytes > spill_threshold) {
             spill_errs[t] = spill_fetch_target(t);
-            return;
+            spilled = true;
+          }
+        }
+        if (!spilled && columnar) {
+          column::PartitionBlock& dst = out.store.block(t);
+          for (size_t p = 0; p < in_n; ++p) {
+            const auto& src = buckets[p].blocks[t];
+            const size_t rows = src.NumRows();
+            for (size_t i = 0; i < rows; ++i) dst.AppendRowFrom(src, i);
+            out.bytes[t] += buckets[p].bytes[t];
+          }
+        } else if (!spilled) {
+          size_t total = 0;
+          for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
+          out.store.rows(t).reserve(total);
+          for (size_t p = 0; p < in_n; ++p) {
+            auto& src = buckets[p].rows[t];
+            out.store.rows(t).insert(out.store.rows(t).end(),
+                                     std::make_move_iterator(src.begin()),
+                                     std::make_move_iterator(src.end()));
+            out.bytes[t] += buckets[p].bytes[t];
           }
         }
         if (columnar) {
-          size_t total = 0;
-          for (size_t p = 0; p < in_n; ++p) {
-            total += buckets[p].blocks[t].NumRows();
-          }
-          out.parts[t].reserve(total);
-          for (size_t p = 0; p < in_n; ++p) {
-            const auto& src = buckets[p].blocks[t];
-            src.AppendRowsTo(&out.parts[t]);
-            fetch_rowify[t] += src.NumRows();
-            out.bytes[t] += buckets[p].bytes[t];
-          }
-          return;
-        }
-        size_t total = 0;
-        for (size_t p = 0; p < in_n; ++p) total += buckets[p].rows[t].size();
-        out.parts[t].reserve(total);
-        for (size_t p = 0; p < in_n; ++p) {
-          auto& src = buckets[p].rows[t];
-          out.parts[t].insert(out.parts[t].end(),
-                              std::make_move_iterator(src.begin()),
-                              std::make_move_iterator(src.end()));
-          out.bytes[t] += buckets[p].bytes[t];
+          fetch_col_bytes[t] += out.store.block(t).ByteFootprint();
         }
       },
       nullptr));
@@ -363,7 +512,7 @@ StatusOr<ShuffledParts> ShuffleByKey(Cluster* cluster, const Dataset& in,
               spill_slots[t]);
   }
   for (uint64_t b : map_col_bytes) stage->columnar_bytes += b;
-  for (uint64_t r : fetch_rowify) stage->column_to_row_conversions += r;
+  for (uint64_t b : fetch_col_bytes) stage->columnar_bytes += b;
 
   for (uint64_t b : recv) {
     if (b > stage->max_partition_recv_bytes) {
@@ -401,21 +550,28 @@ StatusOr<ShuffledParts> ShuffleOrReuse(Cluster* cluster, const Dataset& in,
                                        StageStats* stage) {
   if (in.partitioning.IsHashOn(key_cols)) {
     ShuffledParts out;
-    out.parts = in.partitions;
+    out.store = in.store;
     out.bytes = in.PartitionBytes(cluster->num_threads());
     // Keyed-input spill: on the reuse path no shuffle bounds the partitions,
     // so an oversized keyed-build input spills to runs here and streams back
     // in the original order — the downstream index build then inserts the
     // identical row sequence (same hash_* stats, same group emission order).
-    // Driver-side, in partition order.
+    // Block-resident partitions spill and restore as block records without
+    // materializing a row. Driver-side, in partition order.
     if (cluster->spill_enabled()) {
       const uint64_t threshold = cluster->spill_threshold_bytes();
-      for (size_t p = 0; p < out.parts.size(); ++p) {
+      for (size_t p = 0; p < out.store.NumPartitions(); ++p) {
         if (out.bytes[p] <= threshold) continue;
         spill::SpillCounters pc;
-        TRANCE_RETURN_NOT_OK(cluster->spill_manager()->SpillAndRestoreRows(
-            cluster->current_job_id(), stage->op + ".keyed_input", p,
-            &out.parts[p], &pc));
+        if (out.store.block_resident()) {
+          TRANCE_RETURN_NOT_OK(cluster->spill_manager()->SpillAndRestoreBlock(
+              cluster->current_job_id(), stage->op + ".keyed_input", p,
+              in.schema, &out.store.block(p), &pc));
+        } else {
+          TRANCE_RETURN_NOT_OK(cluster->spill_manager()->SpillAndRestoreRows(
+              cluster->current_job_id(), stage->op + ".keyed_input", p,
+              &out.store.rows(p), &pc));
+        }
         NoteSpill(cluster, stage, stage->op + ".keyed_input", p, out.bytes[p],
                   pc);
       }
@@ -460,58 +616,62 @@ bool HasNullKey(const Row& r, const std::vector<int>& cols) {
   return false;
 }
 
-/// Partition-local hash join of two row lists. `right_schema` supplies the
-/// right width (an empty right partition must still NULL-pad fully) and, in
-/// columnar mode, the build block's column types. Writes the deep-size
-/// footprint of the rows it appended to *out_bytes and the keyed-phase
-/// telemetry into *ks. On the encoded modes the build table is keyed by
-/// compact binary keys (one arena append per distinct key, no per-probe
-/// allocation); kLegacy runs the historical KeyView containers. When
-/// `columnar` is set (and the mode is encoded — the legacy path has no
-/// block form), the build side is packed into a typed PartitionBlock, keys
-/// are encoded column-wise, and the key index references row offsets into
-/// the block instead of materialized Row pointers; matches materialize rows
-/// out of the block (counted into *rowify, footprint into *col_bytes). All
-/// paths count build/probe/chain identically — key identity coincides, so
-/// the counters are mode-invariant.
-Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
+/// Partition-local hash join of two partition views into `sink`.
+/// `right_schema` supplies the right width (an empty right partition must
+/// still NULL-pad fully) and, in columnar mode, the build block's column
+/// types. Writes the deep-size footprint of the rows it appended to
+/// *out_bytes and the keyed-phase telemetry into *ks. On the encoded modes
+/// the build table is keyed by compact binary keys (one arena append per
+/// distinct key, no per-probe allocation); kLegacy runs the historical
+/// KeyView containers. When `columnar` is set (and the mode is encoded — the
+/// legacy path has no block form), the build side is consumed column-wise: a
+/// block-resident right partition is used in place, a row list (broadcast or
+/// legacy handoff) packs into a typed block once (counted into *col_bytes);
+/// probe keys encode straight from the left view's arenas. The legacy path's
+/// containers retain Row pointers, so block-resident inputs materialize row
+/// vectors there — the one surviving in-memory conversion site, counted into
+/// *conversions. All paths count build/probe/chain identically — key
+/// identity coincides, so the counters are mode-invariant.
+Status LocalJoin(const PartView& left, const PartView& right,
                  const std::vector<int>& lk, const std::vector<int>& rk,
                  JoinType type, const Schema& right_schema, bool columnar,
-                 KeyedMode mode, std::vector<Row>* out, uint64_t* out_bytes,
-                 uint64_t* col_bytes, uint64_t* rowify,
+                 KeyedMode mode, PartSink sink, uint64_t* out_bytes,
+                 uint64_t* col_bytes, uint64_t* conversions,
                  key_codec::KeyStats* ks) {
   *out_bytes = 0;
   *col_bytes = 0;
-  *rowify = 0;
+  *conversions = 0;
   const size_t right_width = right_schema.size();
+  auto emit = [&](Row&& row) {
+    *out_bytes += RowDeepSize(row);
+    sink.Append(std::move(row));
+  };
   auto emit_matches = [&](const Row& l, const std::vector<const Row*>& rows) {
-    for (const Row* r : rows) {
-      out->push_back(ConcatRows(l, *r));
-      *out_bytes += RowDeepSize(out->back());
-    }
+    for (const Row* r : rows) emit(ConcatRows(l, *r));
   };
   auto emit_miss = [&](const Row& l) {
-    if (type == JoinType::kLeftOuter) {
-      out->push_back(NullPadRight(l, right_width));
-      *out_bytes += RowDeepSize(out->back());
-    }
+    if (type == JoinType::kLeftOuter) emit(NullPadRight(l, right_width));
   };
   if (mode != KeyedMode::kLegacy && columnar) {
     return WithKeyIndex(mode, [&](auto tag) -> Status {
       typename decltype(tag)::type built(right.size());
-      column::PartitionBlock rb =
-          column::PartitionBlock::FromRows(right_schema, right);
-      *col_bytes += rb.ByteFootprint();
+      column::PartitionBlock packed;
+      const column::PartitionBlock* rb = right.block;
+      if (rb == nullptr) {
+        packed = column::PartitionBlock::FromRows(right_schema, *right.rows);
+        *col_bytes += packed.ByteFootprint();
+        rb = &packed;
+      }
       // Dense per-key chains of row offsets into the block — the flat table
       // references (block, row-offset) pairs, never materialized Rows.
       std::vector<std::vector<uint32_t>> chains;
       chains.reserve(right.size());
       key_codec::KeyEncoder enc;
-      const size_t rn = rb.NumRows();
+      const size_t rn = rb->NumRows();
       for (size_t i = 0; i < rn; ++i) {
         bool null_key = false;
         for (int c : rk) {
-          if (rb.IsNull(i, static_cast<size_t>(c))) {
+          if (rb->IsNull(i, static_cast<size_t>(c))) {
             null_key = true;
             break;
           }
@@ -519,7 +679,7 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
         if (null_key) continue;
         enc.Begin();
         for (int c : rk) {
-          TRANCE_RETURN_NOT_OK(enc.Append(rb.FieldAt(i, static_cast<size_t>(c))));
+          TRANCE_RETURN_NOT_OK(enc.Append(rb->FieldAt(i, static_cast<size_t>(c))));
         }
         auto [gi, inserted] = built.FindOrInsert(enc.Finish());
         if (inserted) {
@@ -531,24 +691,25 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
         chains[gi].push_back(static_cast<uint32_t>(i));
         if (chains[gi].size() > ks->max_chain) ks->max_chain = chains[gi].size();
       }
-      for (const auto& l : left) {
+      const size_t ln = left.size();
+      for (size_t j = 0; j < ln; ++j) {
         bool matched = false;
-        if (!HasNullKey(l, lk)) {
+        if (!left.HasNullKeyAt(j, lk)) {
           TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
-                                  enc.Encode(l, lk));
+                                  left.EncodeKey(&enc, j, lk));
           uint32_t gi = built.Find(k);
           if (gi != decltype(built)::kNotFound) {
             matched = true;
             ks->probe_hits++;
+            Row l = left.MaterializeRow(j);
             for (uint32_t ri : chains[gi]) {
-              Row r = rb.RowAt(ri);
-              ++*rowify;
-              out->push_back(ConcatRows(l, r));
-              *out_bytes += RowDeepSize(out->back());
+              emit(ConcatRows(l, rb->RowAt(ri)));
             }
           }
         }
-        if (!matched) emit_miss(l);
+        if (!matched && type == JoinType::kLeftOuter) {
+          emit(NullPadRight(left.MaterializeRow(j), right_width));
+        }
       }
       ks->encode_bytes += enc.bytes_encoded();
       NoteTableStats(built, ks);
@@ -556,14 +717,17 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
     });
   }
   if (mode != KeyedMode::kLegacy) {
+    // Encoded row path (columnar off, so both views are row-resident).
+    const std::vector<Row>& lrows = *left.rows;
+    const std::vector<Row>& rrows = *right.rows;
     return WithKeyIndex(mode, [&](auto tag) -> Status {
-      typename decltype(tag)::type built(right.size());
+      typename decltype(tag)::type built(rrows.size());
       // Dense per-key row chains, indexed by the table's insertion-order
       // index (the map-based path stored them in the node values).
       std::vector<std::vector<const Row*>> chains;
-      chains.reserve(right.size());
+      chains.reserve(rrows.size());
       key_codec::KeyEncoder enc;
-      for (const auto& r : right) {
+      for (const auto& r : rrows) {
         if (HasNullKey(r, rk)) continue;
         TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k, enc.Encode(r, rk));
         auto [gi, inserted] = built.FindOrInsert(k);
@@ -576,7 +740,7 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
         chains[gi].push_back(&r);
         if (chains[gi].size() > ks->max_chain) ks->max_chain = chains[gi].size();
       }
-      for (const auto& l : left) {
+      for (const auto& l : lrows) {
         bool matched = false;
         if (!HasNullKey(l, lk)) {
           TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
@@ -595,10 +759,25 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
       return Status::OK();
     });
   }
+  // Legacy containers retain Row pointers, so block-resident inputs
+  // materialize whole row vectors here (each row counted).
+  std::vector<Row> lmat, rmat;
+  const std::vector<Row>* lrows = left.rows;
+  const std::vector<Row>* rrows = right.rows;
+  if (left.block_backed()) {
+    lmat = left.block->ToRows();
+    *conversions += lmat.size();
+    lrows = &lmat;
+  }
+  if (right.block_backed()) {
+    rmat = right.block->ToRows();
+    *conversions += rmat.size();
+    rrows = &rmat;
+  }
   std::unordered_map<KeyView, std::vector<const Row*>, KeyViewHash, KeyViewEq>
       built;
-  built.reserve(right.size());
-  for (const auto& r : right) {
+  built.reserve(rrows->size());
+  for (const auto& r : *rrows) {
     if (HasNullKey(r, rk)) continue;
     auto [it, inserted] = built.try_emplace(ExtractKey(r, rk));
     if (inserted) {
@@ -609,7 +788,7 @@ Status LocalJoin(const std::vector<Row>& left, const std::vector<Row>& right,
     it->second.push_back(&r);
     if (it->second.size() > ks->max_chain) ks->max_chain = it->second.size();
   }
-  for (const auto& l : left) {
+  for (const auto& l : *lrows) {
     bool matched = false;
     if (!HasNullKey(l, lk)) {
       auto it = built.find(ExtractKey(l, lk));
@@ -631,18 +810,32 @@ using detail::FinishStage;
 
 StatusOr<Dataset> Source(Cluster* cluster, Schema schema,
                          std::vector<Row> rows, const std::string& name) {
-  const int n = cluster->num_partitions();
+  const size_t n = static_cast<size_t>(cluster->num_partitions());
   Dataset ds;
   ds.schema = std::move(schema);
-  ds.partitions.resize(static_cast<size_t>(n));
-  for (size_t i = 0; i < rows.size(); ++i) {
-    ds.partitions[i % static_cast<size_t>(n)].push_back(std::move(rows[i]));
-  }
   ds.partitioning = Partitioning::None();
-  // Inputs are pre-cached ("runtime starts after caching all inputs"): they
-  // are not charged against the per-partition memory cap.
   StageStats stage;
   stage.op = "source(" + name + ")";
+  if (cluster->columnar_enabled()) {
+    // Columnar sources land block-resident: the driver appends each row to
+    // its round-robin partition block, so downstream stages start from
+    // columns without a packing step. Driver-sequential, so the footprint
+    // charge is thread-count-invariant.
+    ds.store.InitBlocks(n, ds.schema);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ds.store.block(i % n).AppendRow(rows[i]);
+    }
+    for (size_t p = 0; p < n; ++p) {
+      stage.columnar_bytes += ds.store.block(p).ByteFootprint();
+    }
+  } else {
+    ds.store.InitRows(n);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ds.store.rows(i % n).push_back(std::move(rows[i]));
+    }
+  }
+  // Inputs are pre-cached ("runtime starts after caching all inputs"): they
+  // are not charged against the per-partition memory cap.
   stage.rows_in = ds.NumRows();
   stage.rows_out = ds.NumRows();
   cluster->RecordStage(std::move(stage));
@@ -653,17 +846,28 @@ StatusOr<Dataset> SourcePartitioned(Cluster* cluster, Schema schema,
                                     std::vector<Row> rows,
                                     std::vector<int> key_cols,
                                     const std::string& name) {
-  const int n = cluster->num_partitions();
+  const size_t n = static_cast<size_t>(cluster->num_partitions());
   Dataset ds;
   ds.schema = std::move(schema);
-  ds.partitions.resize(static_cast<size_t>(n));
-  for (auto& row : rows) {
-    int target = cluster->PartitionOf(key_codec::KeyHashOn(row, key_cols));
-    ds.partitions[static_cast<size_t>(target)].push_back(std::move(row));
-  }
-  ds.partitioning = Partitioning::Hash(std::move(key_cols));
   StageStats stage;
   stage.op = "source_partitioned(" + name + ")";
+  if (cluster->columnar_enabled()) {
+    ds.store.InitBlocks(n, ds.schema);
+    for (const auto& row : rows) {
+      int target = cluster->PartitionOf(key_codec::KeyHashOn(row, key_cols));
+      ds.store.block(static_cast<size_t>(target)).AppendRow(row);
+    }
+    for (size_t p = 0; p < n; ++p) {
+      stage.columnar_bytes += ds.store.block(p).ByteFootprint();
+    }
+  } else {
+    ds.store.InitRows(n);
+    for (auto& row : rows) {
+      int target = cluster->PartitionOf(key_codec::KeyHashOn(row, key_cols));
+      ds.store.rows(static_cast<size_t>(target)).push_back(std::move(row));
+    }
+  }
+  ds.partitioning = Partitioning::Hash(std::move(key_cols));
   stage.rows_in = ds.NumRows();
   stage.rows_out = ds.NumRows();
   cluster->RecordStage(std::move(stage));
@@ -705,10 +909,11 @@ StatusOr<Dataset> Repartition(Cluster* cluster, const Dataset& in,
                           ShuffleOrReuse(cluster, in, key_cols, &stage));
   Dataset out;
   out.schema = in.schema;
-  out.partitions = std::move(sp.parts);
+  // The shuffled partitions ARE the output — blocks stay resident.
+  out.store = std::move(sp.store);
   out.partitioning = Partitioning::Hash(std::move(key_cols));
-  WorkMeter work(out.partitions.size());
-  for (size_t p = 0; p < out.partitions.size(); ++p) {
+  WorkMeter work(out.NumPartitions());
+  for (size_t p = 0; p < out.NumPartitions(); ++p) {
     work.Add(p, sp.bytes[p]);
   }
   work.Finalize(&stage);
@@ -731,32 +936,42 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);
-  const size_t nparts = lsp.parts.size();
-  out.partitions.resize(nparts);
-  WorkMeter work(nparts);
-  KeyStatsMeter kmeter(nparts);
+  const size_t nparts = lsp.store.NumPartitions();
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
                                 KeyColsEncodable(right.schema, right_keys));
   const bool columnar = cluster->columnar_enabled();
+  // The output keeps the residence the local joins built it in: encoded
+  // columnar joins append matches into resident blocks (footprint charged
+  // per partition slot); the legacy path stays row-resident.
+  const bool block_out = columnar && mode != KeyedMode::kLegacy;
+  if (block_out) {
+    out.store.InitBlocks(nparts, out.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
+  WorkMeter work(nparts);
+  KeyStatsMeter kmeter(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
   std::vector<uint64_t> col_bytes(nparts, 0);
-  std::vector<uint64_t> rowify(nparts, 0);
+  std::vector<uint64_t> conv(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        errs[p] = LocalJoin(lsp.parts[p], rsp.parts[p], left_keys, right_keys,
+        errs[p] = LocalJoin(PartView::Of(lsp.store, p),
+                            PartView::Of(rsp.store, p), left_keys, right_keys,
                             type, right.schema, columnar, mode,
-                            &out.partitions[p], &out_bytes[p], &col_bytes[p],
-                            &rowify[p], &kmeter.slot(p));
+                            PartSink{&out.store, p}, &out_bytes[p],
+                            &col_bytes[p], &conv[p], &kmeter.slot(p));
+        if (block_out) col_bytes[p] += out.store.block(p).ByteFootprint();
         work.Add(p, lsp.bytes[p] + rsp.bytes[p] + out_bytes[p]);
       },
       [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         out_bytes[p] = 0;
         col_bytes[p] = 0;
-        rowify[p] = 0;
+        conv[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -765,7 +980,7 @@ StatusOr<Dataset> HashJoin(Cluster* cluster, const Dataset& left,
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
   for (uint64_t b : col_bytes) stage.columnar_bytes += b;
-  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
+  for (uint64_t r : conv) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -782,6 +997,7 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   stage.rows_in = left.NumRows() + right.NumRows();
   // The broadcast replicates the right side to every partition. One parallel
   // sizing pass covers the movement accounting and the send histogram.
+  // Collect is a true row boundary (replication leaves the partition store).
   std::vector<Row> bcast = right.Collect(cluster->num_threads());
   std::vector<uint64_t> right_bytes =
       right.PartitionBytes(cluster->num_threads());
@@ -815,8 +1031,8 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
                       std::vector<uint64_t>(static_cast<size_t>(n),
                                             bcast_bytes));
   {
-    std::vector<uint64_t> send(right.partitions.size(), 0);
-    for (size_t p = 0; p < right.partitions.size(); ++p) {
+    std::vector<uint64_t> send(right.NumPartitions(), 0);
+    for (size_t p = 0; p < right.NumPartitions(); ++p) {
       send[p] = right_bytes[p] * n;
     }
     AccumulateHistogram(&stage.partition_send_bytes, send);
@@ -824,36 +1040,43 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
 
   Dataset out;
   out.schema = JoinSchema(left.schema, right.schema);
-  const size_t nparts = left.partitions.size();
-  out.partitions.resize(nparts);
-  WorkMeter work(nparts);
-  KeyStatsMeter kmeter(nparts);
+  const size_t nparts = left.NumPartitions();
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
                                 KeyColsEncodable(right.schema, right_keys));
+  const bool columnar = cluster->columnar_enabled();
+  const bool block_out = columnar && mode != KeyedMode::kLegacy;
+  if (block_out) {
+    out.store.InitBlocks(nparts, out.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
   std::vector<uint64_t> left_bytes =
       left.PartitionBytes(cluster->num_threads());
-  const bool columnar = cluster->columnar_enabled();
+  WorkMeter work(nparts);
+  KeyStatsMeter kmeter(nparts);
   std::vector<uint64_t> out_bytes(nparts, 0);
   std::vector<uint64_t> col_bytes(nparts, 0);
-  std::vector<uint64_t> rowify(nparts, 0);
+  std::vector<uint64_t> conv(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        // Columnar mode packs the broadcast rows into a typed block per
+        // Columnar mode packs the broadcast row list into a typed block per
         // receiving partition inside LocalJoin (each pack is counted).
-        errs[p] = LocalJoin(left.partitions[p], bcast, left_keys, right_keys,
+        errs[p] = LocalJoin(PartView::Of(left.store, p),
+                            PartView::OfRowList(bcast), left_keys, right_keys,
                             type, right.schema, columnar, mode,
-                            &out.partitions[p], &out_bytes[p], &col_bytes[p],
-                            &rowify[p], &kmeter.slot(p));
+                            PartSink{&out.store, p}, &out_bytes[p],
+                            &col_bytes[p], &conv[p], &kmeter.slot(p));
+        if (block_out) col_bytes[p] += out.store.block(p).ByteFootprint();
         work.Add(p, left_bytes[p] + bcast_bytes + out_bytes[p]);
       },
       [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         out_bytes[p] = 0;
         col_bytes[p] = 0;
-        rowify[p] = 0;
+        conv[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -862,7 +1085,7 @@ StatusOr<Dataset> BroadcastJoin(Cluster* cluster, const Dataset& left,
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
   for (uint64_t b : col_bytes) stage.columnar_bytes += b;
-  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
+  for (uint64_t r : conv) stage.column_to_row_conversions += r;
   // Left rows did not move: the left guarantee (if any) is preserved.
   out.partitioning = left.partitioning;
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
@@ -904,28 +1127,39 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
 
   Dataset out;
   out.schema = out_schema;
-  const size_t nparts = sp.parts.size();
-  out.partitions.resize(nparts);
-  WorkMeter work(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  KeyStatsMeter kmeter(nparts);
+  const size_t nparts = sp.store.NumPartitions();
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(in.schema, key_cols));
+  const bool block_out =
+      cluster->columnar_enabled() && mode != KeyedMode::kLegacy;
+  if (block_out) {
+    out.store.InitBlocks(nparts, out_schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> conv(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
   std::vector<Status> errs(nparts);
   auto nest_task = [&](size_t p) {
     // Group storage is mode-independent: (key fields of the first row that
     // created the group, members), in first-seen order. The two key paths
     // only differ in how a row finds its group index.
+    PartView v = PartView::Of(sp.store, p);
     std::vector<std::pair<std::vector<Field>, std::vector<Row>>> groups;
     std::vector<uint64_t> group_rows;  // rows mapped per group (chain stat)
     key_codec::KeyStats& ks = kmeter.slot(p);
-    auto add_row = [&](size_t gi, const Row& row) {
+    // Members project straight from the view (arena reads on block-resident
+    // inputs); only the inner Row of a non-miss member materializes.
+    auto add_row = [&](size_t gi, size_t i) {
       if (++group_rows[gi] > ks.max_chain) ks.max_chain = group_rows[gi];
       // NULL-to-empty-bag cast: a miss row marks a key with no inner
       // elements (outer join/unnest miss); it creates the group only.
       bool miss = !miss_cols.empty();
       for (int c : miss_cols) {
-        if (!row.fields[static_cast<size_t>(c)].is_null()) {
+        if (!v.IsNullAt(i, static_cast<size_t>(c))) {
           miss = false;
           break;
         }
@@ -934,31 +1168,31 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         Row inner;
         inner.fields.reserve(value_cols.size());
         for (int c : value_cols) {
-          inner.fields.push_back(row.fields[static_cast<size_t>(c)]);
+          inner.fields.push_back(v.FieldAt(i, static_cast<size_t>(c)));
         }
         groups[gi].second.push_back(std::move(inner));
       }
     };
+    const size_t rows = v.size();
     if (mode != KeyedMode::kLegacy) {
       bool failed = WithKeyIndex(mode, [&](auto tag) -> bool {
         typename decltype(tag)::type index;
         key_codec::KeyEncoder enc;
-        for (const auto& row : sp.parts[p]) {
-          auto kv = enc.Encode(row, key_cols);
+        for (size_t i = 0; i < rows; ++i) {
+          auto kv = v.EncodeKey(&enc, i, key_cols);
           if (!kv.ok()) {
             errs[p] = kv.status();
             return true;
           }
           auto [gi, inserted] = index.FindOrInsert(kv.value());
           if (inserted) {
-            groups.emplace_back(ExtractKey(row, key_cols).fields,
-                                std::vector<Row>{});
+            groups.emplace_back(v.KeyFields(i, key_cols), std::vector<Row>{});
             group_rows.push_back(0);
             ks.build_rows++;
           } else {
             ks.probe_hits++;
           }
-          add_row(gi, row);
+          add_row(gi, i);
         }
         ks.encode_bytes += enc.bytes_encoded();
         NoteTableStats(index, &ks);
@@ -966,8 +1200,12 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
       });
       if (failed) return;
     } else {
+      // Legacy containers key on materialized rows; a block-resident input
+      // materializes each row here (counted).
       std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
-      for (const auto& row : sp.parts[p]) {
+      for (size_t i = 0; i < rows; ++i) {
+        Row row = v.MaterializeRow(i);
+        if (v.block_backed()) ++conv[p];
         auto [it, inserted] =
             index.try_emplace(ExtractKey(row, key_cols), groups.size());
         size_t gi = it->second;
@@ -978,22 +1216,26 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
         } else {
           ks.probe_hits++;
         }
-        add_row(gi, row);
+        add_row(gi, i);
       }
     }
+    PartSink sink{&out.store, p};
     for (auto& [key_fields, members] : groups) {
       Row row;
       row.fields = std::move(key_fields);
       row.fields.push_back(Field::Bag(std::move(members)));
       out_bytes[p] += RowDeepSize(row);
-      out.partitions[p].push_back(std::move(row));
+      sink.Append(std::move(row));
     }
+    if (block_out) col_bytes[p] += out.store.block(p).ByteFootprint();
     work.Add(p, sp.bytes[p] + out_bytes[p]);
   };
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage, nest_task, [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         out_bytes[p] = 0;
+        col_bytes[p] = 0;
+        conv[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -1001,6 +1243,8 @@ StatusOr<Dataset> NestGroup(Cluster* cluster, const Dataset& in,
   TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : conv) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(
       [&] {
         std::vector<int> cols;
@@ -1051,50 +1295,45 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
   }
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(in.schema, key_cols));
+  const bool block_out =
+      cluster->columnar_enabled() && mode != KeyedMode::kLegacy;
 
-  // Local aggregation of one row list into (key, sums) rows. A row whose
-  // value fields are all NULL marks an outer miss: it creates the group but
-  // contributes nothing; groups with no contribution emit NULL values.
-  // Reads only its arguments and the (const) captured column metadata, so
-  // the partition-parallel loops below may share it. Group storage and
-  // emission are mode-independent (key fields of the first row that created
-  // the group, in first-seen order); only the group lookup differs.
+  // Local aggregation of one partition view into (key, sums) rows appended
+  // to `sink`. A row whose value fields are all NULL marks an outer miss: it
+  // creates the group but contributes nothing; groups with no contribution
+  // emit NULL values. Reads only its arguments and the (const) captured
+  // column metadata, so the partition-parallel loops below may share it.
+  // Group storage and emission are mode-independent (key fields of the first
+  // row that created the group, in first-seen order); only the group lookup
+  // differs — the encoded path keys straight off the view (arena reads on
+  // blocks), the legacy path materializes each row (counted into *conv on
+  // block-resident inputs).
   struct Acc {
     std::vector<double> sums;
     bool seen = false;
   };
-  auto aggregate = [&](const std::vector<Row>& rows, bool rows_are_partial,
-                       key_codec::KeyStats* ks,
-                       std::vector<Row>* out_rows) -> Status {
+  auto aggregate = [&](const PartView& v, bool rows_are_partial,
+                       key_codec::KeyStats* ks, PartSink sink,
+                       uint64_t* emitted_bytes, uint64_t* conv) -> Status {
     std::vector<std::pair<std::vector<Field>, Acc>> groups;
     std::vector<uint64_t> group_rows;
     const std::vector<int>& cols = rows_are_partial ? partial_keys : key_cols;
-    auto key_fields_of = [&](const Row& row) {
-      return rows_are_partial
-                 ? std::vector<Field>{row.fields.begin(),
-                                      row.fields.begin() +
-                                          static_cast<long>(key_cols.size())}
-                 : ExtractKey(row, key_cols).fields;
+    auto value_col_of = [&](size_t vi) {
+      return rows_are_partial ? key_cols.size() + vi
+                              : static_cast<size_t>(value_cols[vi]);
     };
-    auto fold = [&](size_t gi, const Row& row) {
+    auto fold = [&](size_t gi, size_t i) {
       if (++group_rows[gi] > ks->max_chain) ks->max_chain = group_rows[gi];
       Acc& acc = groups[gi].second;
       bool all_null = !value_cols.empty();
-      for (size_t i = 0; i < value_cols.size(); ++i) {
-        const Field& f =
-            rows_are_partial
-                ? row.fields[key_cols.size() + i]
-                : row.fields[static_cast<size_t>(value_cols[i])];
-        if (!f.is_null()) all_null = false;
+      for (size_t vi = 0; vi < value_cols.size(); ++vi) {
+        if (!v.IsNullAt(i, value_col_of(vi))) all_null = false;
       }
       if (all_null) return;  // miss marker: group exists, no contribution
       acc.seen = true;
-      for (size_t i = 0; i < value_cols.size(); ++i) {
-        const Field& f =
-            rows_are_partial
-                ? row.fields[key_cols.size() + i]
-                : row.fields[static_cast<size_t>(value_cols[i])];
-        if (!f.is_null()) acc.sums[i] += f.AsNumber();  // lone NULL casts to 0
+      for (size_t vi = 0; vi < value_cols.size(); ++vi) {
+        Field f = v.FieldAt(i, value_col_of(vi));
+        if (!f.is_null()) acc.sums[vi] += f.AsNumber();  // lone NULL casts to 0
       }
     };
     auto new_group = [&](std::vector<Field> key_fields) {
@@ -1104,28 +1343,38 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
       group_rows.push_back(0);
       ks->build_rows++;
     };
+    const size_t rows = v.size();
     if (mode != KeyedMode::kLegacy) {
       TRANCE_RETURN_NOT_OK(WithKeyIndex(mode, [&](auto tag) -> Status {
         typename decltype(tag)::type index;
         key_codec::KeyEncoder enc;
-        for (const auto& row : rows) {
+        for (size_t i = 0; i < rows; ++i) {
           TRANCE_ASSIGN_OR_RETURN(key_codec::EncodedKeyView k,
-                                  enc.Encode(row, cols));
+                                  v.EncodeKey(&enc, i, cols));
           auto [gi, inserted] = index.FindOrInsert(k);
           if (inserted) {
-            new_group(key_fields_of(row));
+            new_group(v.KeyFields(i, cols));
           } else {
             ks->probe_hits++;
           }
-          fold(gi, row);
+          fold(gi, i);
         }
         ks->encode_bytes += enc.bytes_encoded();
         NoteTableStats(index, ks);
         return Status::OK();
       }));
     } else {
+      auto key_fields_of = [&](const Row& row) {
+        return rows_are_partial
+                   ? std::vector<Field>{row.fields.begin(),
+                                        row.fields.begin() +
+                                            static_cast<long>(key_cols.size())}
+                   : ExtractKey(row, key_cols).fields;
+      };
       std::unordered_map<KeyView, size_t, KeyViewHash, KeyViewEq> index;
-      for (const auto& row : rows) {
+      for (size_t i = 0; i < rows; ++i) {
+        Row row = v.MaterializeRow(i);
+        if (v.block_backed()) ++*conv;
         auto [it, inserted] =
             index.try_emplace(KeyView{key_fields_of(row)}, groups.size());
         size_t gi = it->second;
@@ -1134,10 +1383,9 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
         } else {
           ks->probe_hits++;
         }
-        fold(gi, row);
+        fold(gi, i);
       }
     }
-    out_rows->reserve(groups.size());
     for (auto& [key_fields, acc] : groups) {
       Row row;
       row.fields = std::move(key_fields);
@@ -1150,16 +1398,23 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
                         : Field::Real(acc.sums[i]));
         }
       }
-      out_rows->push_back(std::move(row));
+      *emitted_bytes += RowDeepSize(row);
+      sink.Append(std::move(row));
     }
     return Status::OK();
   };
 
-  const size_t in_parts = in.partitions.size();
+  const size_t in_parts = in.NumPartitions();
   WorkMeter work(in_parts);
   Dataset partial;
   partial.schema = out_schema;
-  partial.partitions.resize(in_parts);
+  if (block_out) {
+    partial.store.InitBlocks(in_parts, out_schema);
+  } else {
+    partial.store.InitRows(in_parts);
+  }
+  std::vector<uint64_t> pre_col_bytes(in_parts, 0);
+  std::vector<uint64_t> pre_conv(in_parts, 0);
   // The aggregate runs up to three task loops over the same work meter, so
   // each loop accumulates into its own local vector (folded into the meter
   // after its barrier): a recovery reset may then zero the current loop's
@@ -1174,52 +1429,65 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
       TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
           name + ".combine", in_parts, &stage,
           [&](size_t p) {
-            errs[p] = aggregate(in.partitions[p], false, &kmeter.slot(p),
-                                &partial.partitions[p]);
             uint64_t partial_bytes = 0;
-            for (const auto& r : partial.partitions[p]) {
-              partial_bytes += RowDeepSize(r);
+            errs[p] = aggregate(PartView::Of(in.store, p), false,
+                                &kmeter.slot(p), PartSink{&partial.store, p},
+                                &partial_bytes, &pre_conv[p]);
+            if (block_out) {
+              pre_col_bytes[p] += partial.store.block(p).ByteFootprint();
             }
             local_work[p] = in_bytes[p] + partial_bytes;
           },
           [&](size_t p) {
-            partial.partitions[p].clear();
+            partial.store.Clear(p);
             local_work[p] = 0;
+            pre_col_bytes[p] = 0;
+            pre_conv[p] = 0;
             kmeter.Reset(p);
             errs[p] = Status::OK();
           }));
       TRANCE_RETURN_NOT_OK(FirstError(errs));
       kmeter.Finalize(&stage);
     } else {
-      // Reshape rows to (key, value) layout without combining.
+      // Reshape rows to (key, value) layout without combining. Cells project
+      // straight from the view; no keyed container, so no conversion.
       TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
           name + ".reshape", in_parts, &stage,
           [&](size_t p) {
-            partial.partitions[p].reserve(in.partitions[p].size());
+            PartView v = PartView::Of(in.store, p);
+            PartSink sink{&partial.store, p};
             uint64_t in_bytes = 0;
-            for (const auto& row : in.partitions[p]) {
-              in_bytes += RowDeepSize(row);
+            const size_t rows = v.size();
+            for (size_t i = 0; i < rows; ++i) {
+              in_bytes += v.RowBytes(i);
               Row r;
+              r.fields.reserve(key_cols.size() + value_cols.size());
               for (int c : key_cols) {
-                r.fields.push_back(row.fields[static_cast<size_t>(c)]);
+                r.fields.push_back(v.FieldAt(i, static_cast<size_t>(c)));
               }
-              for (size_t i = 0; i < value_cols.size(); ++i) {
+              for (size_t vi = 0; vi < value_cols.size(); ++vi) {
                 // NULLs pass through so the final aggregation pass can apply
                 // the miss-marker rule uniformly.
                 r.fields.push_back(
-                    row.fields[static_cast<size_t>(value_cols[i])]);
+                    v.FieldAt(i, static_cast<size_t>(value_cols[vi])));
               }
-              partial.partitions[p].push_back(std::move(r));
+              sink.Append(std::move(r));
+            }
+            if (block_out) {
+              pre_col_bytes[p] += partial.store.block(p).ByteFootprint();
             }
             local_work[p] = in_bytes;
           },
           [&](size_t p) {
-            partial.partitions[p].clear();
+            partial.store.Clear(p);
             local_work[p] = 0;
+            pre_col_bytes[p] = 0;
           }));
     }
     for (size_t p = 0; p < in_parts; ++p) work.Add(p, local_work[p]);
   }
+  for (uint64_t b : pre_col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : pre_conv) stage.column_to_row_conversions += r;
   partial.partitioning = in.partitioning.IsHashOn(key_cols)
                              ? Partitioning::Hash(partial_keys)
                              : Partitioning::None();
@@ -1230,9 +1498,15 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
 
   Dataset out;
   out.schema = out_schema;
-  const size_t nparts = sp.parts.size();
-  out.partitions.resize(nparts);
+  const size_t nparts = sp.store.NumPartitions();
+  if (block_out) {
+    out.store.InitBlocks(nparts, out_schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
   std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<uint64_t> fin_col_bytes(nparts, 0);
+  std::vector<uint64_t> fin_conv(nparts, 0);
   {
     std::vector<uint64_t> local_work(nparts, 0);
     KeyStatsMeter kmeter(nparts);
@@ -1240,16 +1514,19 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
     TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
         name, nparts, &stage,
         [&](size_t p) {
-          errs[p] = aggregate(sp.parts[p], true, &kmeter.slot(p),
-                              &out.partitions[p]);
-          for (const auto& r : out.partitions[p]) {
-            out_bytes[p] += RowDeepSize(r);
+          errs[p] = aggregate(PartView::Of(sp.store, p), true,
+                              &kmeter.slot(p), PartSink{&out.store, p},
+                              &out_bytes[p], &fin_conv[p]);
+          if (block_out) {
+            fin_col_bytes[p] += out.store.block(p).ByteFootprint();
           }
           local_work[p] = sp.bytes[p] + out_bytes[p];
         },
         [&](size_t p) {
-          out.partitions[p].clear();
+          out.store.Clear(p);
           out_bytes[p] = 0;
+          fin_col_bytes[p] = 0;
+          fin_conv[p] = 0;
           local_work[p] = 0;
           kmeter.Reset(p);
           errs[p] = Status::OK();
@@ -1259,6 +1536,8 @@ StatusOr<Dataset> SumAggregate(Cluster* cluster, const Dataset& in,
     for (size_t p = 0; p < nparts; ++p) work.Add(p, local_work[p]);
   }
   work.Finalize(&stage);
+  for (uint64_t b : fin_col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : fin_conv) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(partial_keys);
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -1319,29 +1598,63 @@ StatusOr<Dataset> UnionAll(Cluster* cluster, const Dataset& a,
   }
   Dataset out;
   out.schema = a.schema;
-  const size_t nparts = std::max(a.partitions.size(), b.partitions.size());
-  out.partitions.resize(nparts);
+  const size_t nparts = std::max(a.NumPartitions(), b.NumPartitions());
+  const bool columnar = cluster->columnar_enabled();
+  if (columnar) {
+    out.store.InitBlocks(nparts, a.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
   StageStats stage;
   stage.op = name;
   stage.rows_in = a.NumRows() + b.NumRows();
+  std::vector<uint64_t> col_bytes(nparts, 0);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
-        size_t total = (p < a.partitions.size() ? a.partitions[p].size() : 0) +
-                       (p < b.partitions.size() ? b.partitions[p].size() : 0);
-        out.partitions[p].reserve(total);
-        if (p < a.partitions.size()) {
-          out.partitions[p].insert(out.partitions[p].end(),
-                                   a.partitions[p].begin(),
-                                   a.partitions[p].end());
-        }
-        if (p < b.partitions.size()) {
-          out.partitions[p].insert(out.partitions[p].end(),
-                                   b.partitions[p].begin(),
-                                   b.partitions[p].end());
+        if (columnar) {
+          // Either input may be row-resident (legacy producer handoff);
+          // AppendRowFrom/AppendRow of identical values build identical
+          // footprints, so the union's charge is input-residence-invariant.
+          column::PartitionBlock& dst = out.store.block(p);
+          auto append_all = [&](const Dataset& d) {
+            if (p >= d.NumPartitions()) return;
+            PartView v = PartView::Of(d.store, p);
+            const size_t rows = v.size();
+            for (size_t i = 0; i < rows; ++i) {
+              if (v.block_backed()) {
+                dst.AppendRowFrom(*v.block, i);
+              } else {
+                dst.AppendRow((*v.rows)[i]);
+              }
+            }
+          };
+          append_all(a);
+          append_all(b);
+          col_bytes[p] = dst.ByteFootprint();
+        } else {
+          // Columnar off: every producer is row-resident, so direct row
+          // access is safe.
+          std::vector<Row>& dst = out.store.rows(p);
+          size_t total =
+              (p < a.NumPartitions() ? a.store.rows(p).size() : 0) +
+              (p < b.NumPartitions() ? b.store.rows(p).size() : 0);
+          dst.reserve(total);
+          if (p < a.NumPartitions()) {
+            dst.insert(dst.end(), a.store.rows(p).begin(),
+                       a.store.rows(p).end());
+          }
+          if (p < b.NumPartitions()) {
+            dst.insert(dst.end(), b.store.rows(p).begin(),
+                       b.store.rows(p).end());
+          }
         }
       },
-      [&](size_t p) { out.partitions[p].clear(); }));
+      [&](size_t p) {
+        out.store.Clear(p);
+        col_bytes[p] = 0;
+      }));
+  for (uint64_t bts : col_bytes) stage.columnar_bytes += bts;
   out.partitioning = Partitioning::None();
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name));
   return out;
@@ -1360,90 +1673,43 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
                           ShuffleOrReuse(cluster, in, all_cols, &stage));
   Dataset out;
   out.schema = in.schema;
-  const size_t nparts = sp.parts.size();
-  out.partitions.resize(nparts);
-  WorkMeter work(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  KeyStatsMeter kmeter(nparts);
+  const size_t nparts = sp.store.NumPartitions();
   // Dedup keys on every column, so any bag-typed column sends the whole
   // operator down the legacy path (bag keys compare structurally there).
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(in.schema, all_cols));
-  const bool columnar = cluster->columnar_enabled();
+  const bool block_out =
+      cluster->columnar_enabled() && mode != KeyedMode::kLegacy;
+  if (block_out) {
+    out.store.InitBlocks(nparts, in.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
   std::vector<uint64_t> col_bytes(nparts, 0);
-  std::vector<uint64_t> rowify(nparts, 0);
+  std::vector<uint64_t> conv(nparts, 0);
   std::vector<Status> errs(nparts);
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage,
       [&](size_t p) {
         key_codec::KeyStats& ks = kmeter.slot(p);
-        auto emit = [&](const Row& row) {
-          out_bytes[p] += RowDeepSize(row);
-          out.partitions[p].push_back(row);
-        };
-        if (mode != KeyedMode::kLegacy && columnar) {
-          // Columnar dedup: pack the partition into a typed block, encode
-          // membership keys column-wise, and materialize only the first
-          // occurrence of each key back into a row. The encoded bytes match
-          // EncodeRow over the same fields, so all key counters are
-          // mode-invariant.
-          column::PartitionBlock blk =
-              column::PartitionBlock::FromRows(in.schema, sp.parts[p]);
-          col_bytes[p] += blk.ByteFootprint();
+        PartView v = PartView::Of(sp.store, p);
+        PartSink sink{&out.store, p};
+        const size_t rows = v.size();
+        if (mode != KeyedMode::kLegacy) {
+          // The membership test encodes straight off the view (column arenas
+          // on block-resident input) and probes without materializing; the
+          // first occurrence of each key copies column-to-column into the
+          // output block. Per-key duplicate counts (the chain stat) live
+          // densely beside the index.
           WithKeyIndex(mode, [&](auto tag) {
             typename decltype(tag)::type seen;
             std::vector<uint64_t> counts;
             key_codec::KeyEncoder enc;
-            const size_t rows = blk.NumRows();
             for (size_t i = 0; i < rows; ++i) {
-              key_codec::EncodedKeyView kv;
-              if (!blk.ragged()) {
-                enc.Begin();
-                Status st;
-                for (size_t c = 0; c < blk.NumCols() && st.ok(); ++c) {
-                  st = enc.Append(blk.FieldAt(i, c));
-                }
-                if (!st.ok()) {
-                  errs[p] = st;
-                  return;
-                }
-                kv = enc.Finish();
-              } else {
-                auto st = enc.EncodeRow(blk.RowAt(i));
-                if (!st.ok()) {
-                  errs[p] = st.status();
-                  return;
-                }
-                kv = st.value();
-              }
-              auto [gi, inserted] = seen.FindOrInsert(kv);
-              if (inserted) {
-                counts.push_back(1);
-                ks.build_rows++;
-                if (ks.max_chain < 1) ks.max_chain = 1;
-                out_bytes[p] += blk.RowBytesAt(i);
-                out.partitions[p].push_back(blk.RowAt(i));
-                ++rowify[p];
-              } else {
-                ks.probe_hits++;
-                if (++counts[gi] > ks.max_chain) ks.max_chain = counts[gi];
-              }
-            }
-            ks.encode_bytes += enc.bytes_encoded();
-            NoteTableStats(seen, &ks);
-          });
-          if (!errs[p].ok()) return;
-        } else if (mode != KeyedMode::kLegacy) {
-          // The membership test encodes into the task's scratch buffer and
-          // probes without materializing — the fix for the historical
-          // full-row KeyView deep copy per test. Per-key duplicate counts
-          // (the chain stat) live densely beside the index.
-          WithKeyIndex(mode, [&](auto tag) {
-            typename decltype(tag)::type seen;
-            std::vector<uint64_t> counts;
-            key_codec::KeyEncoder enc;
-            for (const auto& row : sp.parts[p]) {
-              auto kv = enc.EncodeRow(row);
+              auto kv = v.EncodeAllCols(&enc, i);
               if (!kv.ok()) {
                 errs[p] = kv.status();
                 return;
@@ -1453,7 +1719,8 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
                 counts.push_back(1);
                 ks.build_rows++;
                 if (ks.max_chain < 1) ks.max_chain = 1;
-                emit(row);
+                out_bytes[p] += v.RowBytes(i);
+                sink.AppendFrom(v, i);
               } else {
                 ks.probe_hits++;
                 if (++counts[gi] > ks.max_chain) ks.max_chain = counts[gi];
@@ -1465,25 +1732,29 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
           if (!errs[p].ok()) return;
         } else {
           std::unordered_map<KeyView, uint64_t, KeyViewHash, KeyViewEq> seen;
-          for (const auto& row : sp.parts[p]) {
+          for (size_t i = 0; i < rows; ++i) {
+            Row row = v.MaterializeRow(i);
+            if (v.block_backed()) ++conv[p];
             auto [it, inserted] = seen.try_emplace(KeyView{row.fields}, 1);
             if (inserted) {
               ks.build_rows++;
               if (ks.max_chain < 1) ks.max_chain = 1;
-              emit(row);
+              out_bytes[p] += RowDeepSize(row);
+              sink.Append(std::move(row));
             } else {
               ks.probe_hits++;
               if (++it->second > ks.max_chain) ks.max_chain = it->second;
             }
           }
         }
+        if (block_out) col_bytes[p] += out.store.block(p).ByteFootprint();
         work.Add(p, sp.bytes[p] + out_bytes[p]);
       },
       [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         out_bytes[p] = 0;
         col_bytes[p] = 0;
-        rowify[p] = 0;
+        conv[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -1492,7 +1763,7 @@ StatusOr<Dataset> Distinct(Cluster* cluster, const Dataset& in,
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
   for (uint64_t b : col_bytes) stage.columnar_bytes += b;
-  for (uint64_t r : rowify) stage.column_to_row_conversions += r;
+  for (uint64_t r : conv) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(std::move(all_cols));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -1524,42 +1795,43 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
 
   Dataset out;
   out.schema = std::move(out_schema);
-  const size_t nparts = lsp.parts.size();
-  out.partitions.resize(nparts);
-  WorkMeter work(nparts);
-  std::vector<uint64_t> out_bytes(nparts, 0);
-  KeyStatsMeter kmeter(nparts);
+  const size_t nparts = lsp.store.NumPartitions();
   const KeyedMode mode =
       KeyedModeFor(cluster, KeyColsEncodable(left.schema, left_keys) &&
                                 KeyColsEncodable(right.schema, right_keys));
+  const bool block_out =
+      cluster->columnar_enabled() && mode != KeyedMode::kLegacy;
+  if (block_out) {
+    out.store.InitBlocks(nparts, out.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
+  WorkMeter work(nparts);
+  std::vector<uint64_t> out_bytes(nparts, 0);
+  std::vector<uint64_t> col_bytes(nparts, 0);
+  std::vector<uint64_t> conv(nparts, 0);
+  KeyStatsMeter kmeter(nparts);
   std::vector<Status> errs(nparts);
   auto cogroup_task = [&](size_t p) {
     key_codec::KeyStats& ks = kmeter.slot(p);
-    auto project_right = [&](const Row& r) {
-      Row proj;
-      proj.fields.reserve(right_value_cols.size());
-      for (int c : right_value_cols) {
-        proj.fields.push_back(r.fields[static_cast<size_t>(c)]);
-      }
-      return proj;
-    };
-    auto emit = [&](const Row& l, const std::vector<Row>* matches) {
-      Row row = l;
-      row.fields.push_back(matches == nullptr ? Field::Bag(std::vector<Row>{})
-                                              : Field::Bag(*matches));
+    PartView vl = PartView::Of(lsp.store, p);
+    PartView vr = PartView::Of(rsp.store, p);
+    PartSink sink{&out.store, p};
+    auto emit = [&](Row&& row) {
       uint64_t sz = RowDeepSize(row);
       work.Add(p, sz);
       out_bytes[p] += sz;
-      out.partitions[p].push_back(std::move(row));
+      sink.Append(std::move(row));
     };
     if (mode != KeyedMode::kLegacy) {
       WithKeyIndex(mode, [&](auto tag) {
         typename decltype(tag)::type built;
         std::vector<std::vector<Row>> chains;  // dense index -> right rows
         key_codec::KeyEncoder enc;
-        for (const auto& r : rsp.parts[p]) {
-          if (HasNullKey(r, right_keys)) continue;
-          auto kv = enc.Encode(r, right_keys);
+        const size_t rrows = vr.size();
+        for (size_t i = 0; i < rrows; ++i) {
+          if (vr.HasNullKeyAt(i, right_keys)) continue;
+          auto kv = vr.EncodeKey(&enc, i, right_keys);
           if (!kv.ok()) {
             errs[p] = kv.status();
             return;
@@ -1571,15 +1843,23 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
           } else {
             ks.probe_hits++;
           }
-          chains[gi].push_back(project_right(r));
+          // The bag member projects straight from the view — no whole-row
+          // materialization on block-resident input.
+          Row proj;
+          proj.fields.reserve(right_value_cols.size());
+          for (int c : right_value_cols) {
+            proj.fields.push_back(vr.FieldAt(i, static_cast<size_t>(c)));
+          }
+          chains[gi].push_back(std::move(proj));
           if (chains[gi].size() > ks.max_chain) {
             ks.max_chain = chains[gi].size();
           }
         }
-        for (const auto& l : lsp.parts[p]) {
+        const size_t lrows = vl.size();
+        for (size_t j = 0; j < lrows; ++j) {
           const std::vector<Row>* matches = nullptr;
-          if (!HasNullKey(l, left_keys)) {
-            auto kv = enc.Encode(l, left_keys);
+          if (!vl.HasNullKeyAt(j, left_keys)) {
+            auto kv = vl.EncodeKey(&enc, j, left_keys);
             if (!kv.ok()) {
               errs[p] = kv.status();
               return;
@@ -1590,16 +1870,34 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
               matches = &chains[gi];
             }
           }
-          emit(l, matches);
+          Row row = vl.MaterializeRow(j);  // transient: emitted immediately
+          row.fields.push_back(matches == nullptr
+                                   ? Field::Bag(std::vector<Row>{})
+                                   : Field::Bag(*matches));
+          emit(std::move(row));
         }
         ks.encode_bytes += enc.bytes_encoded();
         NoteTableStats(built, &ks);
       });
       if (!errs[p].ok()) return;
     } else {
+      auto project_right = [&](const Row& r) {
+        Row proj;
+        proj.fields.reserve(right_value_cols.size());
+        for (int c : right_value_cols) {
+          proj.fields.push_back(r.fields[static_cast<size_t>(c)]);
+        }
+        return proj;
+      };
       std::unordered_map<KeyView, std::vector<Row>, KeyViewHash, KeyViewEq>
           built;
-      for (const auto& r : rsp.parts[p]) {
+      const size_t rrows = vr.size();
+      for (size_t i = 0; i < rrows; ++i) {
+        // The KeyView container retains key fields from the materialized row,
+        // so a block-resident input converts here (counted) before the
+        // null-key filter even looks at it.
+        Row r = vr.MaterializeRow(i);
+        if (vr.block_backed()) ++conv[p];
         if (HasNullKey(r, right_keys)) continue;
         auto [it, inserted] = built.try_emplace(ExtractKey(r, right_keys));
         if (inserted) {
@@ -1612,7 +1910,10 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
           ks.max_chain = it->second.size();
         }
       }
-      for (const auto& l : lsp.parts[p]) {
+      const size_t lrows = vl.size();
+      for (size_t j = 0; j < lrows; ++j) {
+        Row l = vl.MaterializeRow(j);
+        if (vl.block_backed()) ++conv[p];
         const std::vector<Row>* matches = nullptr;
         if (!HasNullKey(l, left_keys)) {
           auto it = built.find(ExtractKey(l, left_keys));
@@ -1621,15 +1922,21 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
             matches = &it->second;
           }
         }
-        emit(l, matches);
+        Row row = std::move(l);
+        row.fields.push_back(matches == nullptr ? Field::Bag(std::vector<Row>{})
+                                                : Field::Bag(*matches));
+        emit(std::move(row));
       }
     }
     work.Add(p, lsp.bytes[p] + rsp.bytes[p]);
+    if (block_out) col_bytes[p] += out.store.block(p).ByteFootprint();
   };
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       name, nparts, &stage, cogroup_task, [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         out_bytes[p] = 0;
+        col_bytes[p] = 0;
+        conv[p] = 0;
         work.Reset(p);
         kmeter.Reset(p);
         errs[p] = Status::OK();
@@ -1637,6 +1944,8 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
   TRANCE_RETURN_NOT_OK(FirstError(errs));
   work.Finalize(&stage);
   kmeter.Finalize(&stage);
+  for (uint64_t b : col_bytes) stage.columnar_bytes += b;
+  for (uint64_t r : conv) stage.column_to_row_conversions += r;
   out.partitioning = Partitioning::Hash(std::move(left_keys));
   TRANCE_RETURN_NOT_OK(FinishStage(cluster, std::move(stage), &out, name,
                                    std::move(out_bytes)));
@@ -1645,10 +1954,11 @@ StatusOr<Dataset> CoGroup(Cluster* cluster, const Dataset& left,
 
 std::vector<Row> Take(const Dataset& in, size_t limit) {
   std::vector<Row> out;
-  for (const auto& p : in.partitions) {
-    for (const auto& r : p) {
+  for (size_t p = 0; p < in.NumPartitions(); ++p) {
+    const size_t rows = in.PartitionRowCount(p);
+    for (size_t i = 0; i < rows; ++i) {
       if (out.size() >= limit) return out;
-      out.push_back(r);
+      out.push_back(in.RowAt(p, i));
     }
   }
   return out;

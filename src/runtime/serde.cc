@@ -634,13 +634,12 @@ Status BlockFileReader::Open(const std::string& path, size_t buffer_bytes) {
   return Status::OK();
 }
 
-StatusOr<bool> BlockFileReader::ReadBatch(std::vector<Row>* out,
-                                          uint8_t* kind) {
+StatusOr<bool> BlockFileReader::ReadRecord(uint8_t* kind,
+                                           std::string* payload) {
   TRANCE_ASSIGN_OR_RETURN(bool eof, in_.AtEof());
   if (eof) return false;
-  uint8_t record_kind = 0;
   uint64_t payload_len = 0;
-  TRANCE_RETURN_NOT_OK(in_.Read(&record_kind, sizeof(record_kind)));
+  TRANCE_RETURN_NOT_OK(in_.Read(kind, sizeof(*kind)));
   TRANCE_RETURN_NOT_OK(in_.Read(&payload_len, sizeof(payload_len)));
   if (payload_len > (uint64_t{1} << 40)) {
     return Status::Invalid("serde: implausible record length " +
@@ -656,17 +655,39 @@ StatusOr<bool> BlockFileReader::ReadBatch(std::vector<Row>* out,
         std::to_string(payload_len) + " payload bytes with only " +
         std::to_string(remaining) + " bytes left in the file");
   }
-  std::string payload(static_cast<size_t>(payload_len), '\0');
-  TRANCE_RETURN_NOT_OK(in_.Read(payload.data(), payload.size()));
+  payload->assign(static_cast<size_t>(payload_len), '\0');
+  TRANCE_RETURN_NOT_OK(in_.Read(payload->data(), payload->size()));
   uint64_t stored_sum = 0;
   TRANCE_RETURN_NOT_OK(in_.Read(&stored_sum, sizeof(stored_sum)));
-  uint64_t actual_sum = Fnv1a64(payload.data(), payload.size());
+  uint64_t actual_sum = Fnv1a64(payload->data(), payload->size());
   if (stored_sum != actual_sum) {
     return Status::Invalid("serde: checksum mismatch (stored " +
                            std::to_string(stored_sum) + ", computed " +
                            std::to_string(actual_sum) + "): corrupt record");
   }
+  return true;
+}
+
+StatusOr<bool> BlockFileReader::ReadBatch(std::vector<Row>* out,
+                                          uint8_t* kind) {
+  uint8_t record_kind = 0;
+  std::string payload;
+  TRANCE_ASSIGN_OR_RETURN(bool more, ReadRecord(&record_kind, &payload));
+  if (!more) return false;
   TRANCE_RETURN_NOT_OK(ParseRecordPayload(record_kind, payload, out));
+  if (kind != nullptr) *kind = record_kind;
+  return true;
+}
+
+StatusOr<bool> BlockFileReader::ReadBatchInto(column::PartitionBlock* out,
+                                              uint8_t* kind) {
+  uint8_t record_kind = 0;
+  std::string payload;
+  TRANCE_ASSIGN_OR_RETURN(bool more, ReadRecord(&record_kind, &payload));
+  if (!more) return false;
+  std::vector<Row> rows;
+  TRANCE_RETURN_NOT_OK(ParseRecordPayload(record_kind, payload, &rows));
+  for (const Row& r : rows) out->AppendRow(r);
   if (kind != nullptr) *kind = record_kind;
   return true;
 }

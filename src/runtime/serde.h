@@ -152,10 +152,22 @@ class BlockFileReader {
   /// record kind so callers can account block→row materializations.
   StatusOr<bool> ReadBatch(std::vector<Row>* out, uint8_t* kind = nullptr);
 
+  /// Appends the next record's rows into *out via per-row AppendRow — the
+  /// block-resident restore. The append sequence is exactly what
+  /// AppendRowFrom of the written rows would produce, so the restored
+  /// block's ByteFootprint matches a never-spilled block built from the same
+  /// rows. `kind` as in ReadBatch.
+  StatusOr<bool> ReadBatchInto(column::PartitionBlock* out,
+                               uint8_t* kind = nullptr);
+
   Status Close();
   uint64_t bytes_read() const { return in_.bytes_read(); }
 
  private:
+  /// Reads one record frame (kind + payload), validating length and
+  /// checksum. Returns false cleanly at end of file.
+  StatusOr<bool> ReadRecord(uint8_t* kind, std::string* payload);
+
   BufferedFileReader in_;
 };
 

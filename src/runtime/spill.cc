@@ -190,6 +190,28 @@ Status SpillManager::ReadRun(const std::string& path, std::vector<Row>* out,
   return Status::OK();
 }
 
+Status SpillManager::ReadRunIntoBlock(const std::string& path,
+                                      column::PartitionBlock* out,
+                                      SpillCounters* c) {
+  serde::BlockFileReader reader;
+  TRANCE_RETURN_NOT_OK(
+      reader.Open(path, static_cast<size_t>(config_.io_buffer_bytes)));
+  for (;;) {
+    size_t before = out->NumRows();
+    uint8_t kind = 0;
+    TRANCE_ASSIGN_OR_RETURN(bool more, reader.ReadBatchInto(out, &kind));
+    if (!more) break;
+    if (kind == serde::kRecordBlock && c != nullptr) {
+      c->rowify_avoided += out->NumRows() - before;
+    }
+  }
+  uint64_t bytes = reader.bytes_read();
+  TRANCE_RETURN_NOT_OK(reader.Close());
+  total_read_.fetch_add(bytes);
+  if (c != nullptr) c->bytes_read += bytes;
+  return Status::OK();
+}
+
 void SpillManager::RemoveRun(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -238,6 +260,49 @@ Status SpillManager::SpillAndRestoreRows(uint64_t job, const std::string& tag,
   // exactly the original row order.
   for (const std::string& path : runs) {
     TRANCE_RETURN_NOT_OK(ReadRun(path, rows, nullptr, c));
+  }
+  for (const std::string& path : runs) RemoveRun(path);
+  if (c != nullptr) c->merge_passes += 1;
+  return Status::OK();
+}
+
+Status SpillManager::SpillAndRestoreBlock(uint64_t job, const std::string& tag,
+                                          size_t partition,
+                                          const Schema& schema,
+                                          column::PartitionBlock* block,
+                                          SpillCounters* c) {
+  // Phase 1: split the block's row sequence into bounded chunk blocks, each
+  // written as one block record run. Chunks copy column-wise (AppendRowFrom);
+  // the source block is released wholesale after the last run lands.
+  std::vector<std::string> runs;
+  column::PartitionBlock chunk(schema);
+  uint64_t chunk_bytes = 0;
+  auto flush_chunk = [&]() -> Status {
+    std::string path = RunPath(job, tag, partition, runs.size());
+    TRANCE_RETURN_NOT_OK(WriteBlockRun(path, chunk, c));
+    runs.push_back(std::move(path));
+    chunk = column::PartitionBlock(schema);
+    chunk_bytes = 0;
+    return Status::OK();
+  };
+  const size_t n = block->NumRows();
+  for (size_t i = 0; i < n; ++i) {
+    chunk_bytes += block->RowBytesAt(i);
+    chunk.AppendRowFrom(*block, i);
+    if (chunk_bytes >= config_.max_run_bytes) {
+      TRANCE_RETURN_NOT_OK(flush_chunk());
+    }
+  }
+  if (chunk.NumRows() > 0 || runs.empty()) {
+    TRANCE_RETURN_NOT_OK(flush_chunk());
+  }
+  *block = column::PartitionBlock(schema);
+
+  // Phase 2: one merge pass — restore the runs in run order into the fresh
+  // block. Per-row appends replay the identical growth sequence, so the
+  // restored block's ByteFootprint equals the never-spilled equivalent.
+  for (const std::string& path : runs) {
+    TRANCE_RETURN_NOT_OK(ReadRunIntoBlock(path, block, c));
   }
   for (const std::string& path : runs) RemoveRun(path);
   if (c != nullptr) c->merge_passes += 1;

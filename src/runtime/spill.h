@@ -32,6 +32,7 @@
 
 #include "runtime/column.h"
 #include "runtime/field.h"
+#include "runtime/schema.h"
 #include "util/status.h"
 
 namespace trance {
@@ -69,12 +70,17 @@ struct SpillCounters {
   uint64_t bytes_read = 0;
   uint64_t runs = 0;
   uint64_t merge_passes = 0;
+  /// Rows restored from block records straight into a resident block
+  /// (ReadRunIntoBlock) — each would have been a disk-side rowification
+  /// before partitions were block-resident.
+  uint64_t rowify_avoided = 0;
 
   SpillCounters& operator+=(const SpillCounters& o) {
     bytes_written += o.bytes_written;
     bytes_read += o.bytes_read;
     runs += o.runs;
     merge_passes += o.merge_passes;
+    rowify_avoided += o.rowify_avoided;
     return *this;
   }
 };
@@ -114,6 +120,11 @@ class SpillManager {
   /// records (the disk-side analogue of column_to_row_conversions).
   Status ReadRun(const std::string& path, std::vector<Row>* out,
                  uint64_t* block_rows, SpillCounters* c);
+  /// Streams a run back into a resident block (per-row appends, so the
+  /// block's footprint matches a never-spilled block of the same rows).
+  /// Block-record rows count into c->rowify_avoided.
+  Status ReadRunIntoBlock(const std::string& path,
+                          column::PartitionBlock* out, SpillCounters* c);
   /// Deletes a restored run (no-op with keep_files) and releases its budget.
   void RemoveRun(const std::string& path);
 
@@ -124,6 +135,16 @@ class SpillManager {
   Status SpillAndRestoreRows(uint64_t job, const std::string& tag,
                              size_t partition, std::vector<Row>* rows,
                              SpillCounters* c);
+
+  /// Block-resident analogue of SpillAndRestoreRows: splits *block into
+  /// max_run_bytes-bounded chunk blocks (by RowBytesAt), writes each as one
+  /// block record run, resets *block to an empty schema-typed block, then
+  /// restores the identical row sequence via ReadRunIntoBlock and removes
+  /// the runs. Counts one merge pass; never materializes a row vector.
+  Status SpillAndRestoreBlock(uint64_t job, const std::string& tag,
+                              size_t partition, const Schema& schema,
+                              column::PartitionBlock* block,
+                              SpillCounters* c);
 
   // Lifetime accounting (monotonic; budget is tracked separately).
   uint64_t total_bytes_written() const { return total_written_.load(); }

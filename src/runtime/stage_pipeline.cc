@@ -36,8 +36,16 @@ Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
     for (size_t p = 0; p < part_bytes.size(); ++p) {
       if (part_bytes[p] <= threshold) continue;
       spill::SpillCounters pc;
-      spill_status = cluster->spill_manager()->SpillAndRestoreRows(
-          cluster->current_job_id(), name, p, &result->partitions[p], &pc);
+      // Residence-preserving: block partitions round-trip as columnar serde
+      // records (no disk-side rowification) and come back block-resident.
+      spill_status =
+          result->store.block_resident()
+              ? cluster->spill_manager()->SpillAndRestoreBlock(
+                    cluster->current_job_id(), name, p, result->schema,
+                    &result->store.block(p), &pc)
+              : cluster->spill_manager()->SpillAndRestoreRows(
+                    cluster->current_job_id(), name, p,
+                    &result->store.rows(p), &pc);
       if (!spill_status.ok()) break;
       spilled[p] = 1;
       any_spilled = true;
@@ -53,6 +61,7 @@ Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
             .U64("bytes_read", pc.bytes_read)
             .U64("runs", pc.runs)
             .U64("merge_passes", pc.merge_passes)
+            .U64("rowify_avoided", pc.rowify_avoided)
             .Emit();
       }
     }
@@ -60,6 +69,7 @@ Status FinishStage(Cluster* cluster, StageStats stage, Dataset* result,
     stage.spill_bytes_read += c.bytes_read;
     stage.spill_runs += c.runs;
     stage.spill_merge_passes += c.merge_passes;
+    stage.spill_rowify_avoided += c.rowify_avoided;
   }
   cluster->RecordStage(std::move(stage));
   TRANCE_RETURN_NOT_OK(spill_status);
@@ -161,10 +171,16 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
   const bool charge_final = ChargesEmitted(chain.back().kind);
   const bool track_work = charge_input || charge_final;
 
+  const bool columnar = cluster->columnar_enabled();
+
   Dataset out;
   out.schema = std::move(out_schema);
-  const size_t nparts = in.partitions.size();
-  out.partitions.resize(nparts);
+  const size_t nparts = in.NumPartitions();
+  if (columnar) {
+    out.store.InitBlocks(nparts, out.schema);
+  } else {
+    out.store.InitRows(nparts);
+  }
   out.partitioning = std::move(out_partitioning);
 
   // Per-partition accumulator slots, merged in partition order after the
@@ -174,17 +190,17 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
   std::vector<uint64_t> out_bytes(nparts, 0);
   std::vector<uint64_t> avoided(nparts, 0);
   std::vector<uint64_t> col_bytes(nparts, 0);
-  std::vector<uint64_t> rowify(nparts, 0);
   std::vector<std::vector<uint64_t>> transform_rows(
       nparts, std::vector<uint64_t>(len, 0));
 
-  // Columnar mode packs each input partition into a typed block and scans
-  // it, collecting emitted rows into an output block that is materialized
-  // once at the end of the task. Blocks are lossless, and all work/byte
-  // charges are computed from the identical Field values, so every
+  // Columnar mode scans the (typically block-resident) input and appends
+  // emitted rows straight into the output partition's resident block — no
+  // pack/unpack round-trip on either side. Blocks are lossless, and all
+  // work/byte charges are computed from the identical Field values, so every
   // pre-existing stat matches the row path bit-for-bit; only the new
-  // columnar_bytes / column_to_row_conversions counters observe the mode.
-  const bool columnar = cluster->columnar_enabled();
+  // columnar_bytes counter observes the mode (the per-row reads feeding the
+  // chain are transient, so they do not count as conversions — see
+  // column_to_row_conversions in docs/METRICS.md).
 
   auto task = [&](size_t p) {
     // Per-partition id counters reproduce the standalone operators' uid
@@ -192,9 +208,7 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
     // both of which fusion preserves (and they live inside the task, so a
     // recovery re-execution restarts them from zero).
     std::vector<int64_t> uid(len, 0);
-    std::vector<Row>& sink = out.partitions[p];
     std::vector<uint64_t>& t_rows = transform_rows[p];
-    column::PartitionBlock out_block(out.schema);
 
     std::function<void(size_t, const Row&)> feed = [&](size_t i,
                                                        const Row& row) {
@@ -206,9 +220,9 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
           out_bytes[p] += sz;
           if (charge_final) work[p] += sz;
           if (columnar) {
-            out_block.AppendRow(r);
+            out.store.block(p).AppendRow(r);
           } else {
-            sink.push_back(std::move(r));
+            out.store.rows(p).push_back(std::move(r));
           }
         } else {
           avoided[p] += RowDeepSize(r);
@@ -281,43 +295,38 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
       }
     };
 
-    rows_in[p] = in.partitions[p].size();
-    if (columnar) {
-      column::PartitionBlock in_block =
-          column::PartitionBlock::FromRows(in.schema, in.partitions[p]);
-      col_bytes[p] += in_block.ByteFootprint();
-      size_t n = in_block.NumRows();
+    rows_in[p] = in.store.RowCount(p);
+    if (in.store.block_resident()) {
+      const column::PartitionBlock& in_block = in.store.block(p);
+      const size_t n = in_block.NumRows();
       for (size_t i = 0; i < n; ++i) {
-        Row row = in_block.RowAt(i);
-        ++rowify[p];
+        Row row = in_block.RowAt(i);  // transient: feeds the chain, then dies
         if (charge_input) work[p] += RowDeepSize(row);
         feed(0, row);
       }
-      col_bytes[p] += out_block.ByteFootprint();
-      rowify[p] += out_block.NumRows();
-      out_block.AppendRowsTo(&sink);
     } else {
-      for (const auto& row : in.partitions[p]) {
+      const std::vector<Row>& in_rows = in.store.rows(p);
+      for (const auto& row : in_rows) {
         if (charge_input) work[p] += RowDeepSize(row);
         feed(0, row);
       }
     }
+    if (columnar) col_bytes[p] += out.store.block(p).ByteFootprint();
   };
 
   StageStats stage;
   stage.op = stage_name;
   // Injected crash faults discard the partition's accumulator slots; the
-  // retry recomputes them from in.partitions[p], which the chain never
+  // retry recomputes them from the input partition, which the chain never
   // mutates.
   TRANCE_RETURN_NOT_OK(cluster->RunRecoverableTasks(
       stage_name, nparts, &stage, task, [&](size_t p) {
-        out.partitions[p].clear();
+        out.store.Clear(p);
         work[p] = 0;
         rows_in[p] = 0;
         out_bytes[p] = 0;
         avoided[p] = 0;
         col_bytes[p] = 0;
-        rowify[p] = 0;
         transform_rows[p].assign(len, 0);
       }));
 
@@ -336,7 +345,6 @@ StatusOr<Dataset> RunStagePipeline(Cluster* cluster, const Dataset& in,
   }
   for (uint64_t b : avoided) stage.intermediate_bytes_avoided += b;
   for (uint64_t b : col_bytes) stage.columnar_bytes += b;
-  for (uint64_t n : rowify) stage.column_to_row_conversions += n;
   if (len > 1) {
     stage.fused_transforms.resize(len);
     for (size_t i = 0; i < len; ++i) {

@@ -105,6 +105,11 @@ struct StageStats {
   uint64_t spill_bytes_read = 0;
   uint64_t spill_runs = 0;
   uint64_t spill_merge_passes = 0;
+  /// Rows a block-resident spill restored column-wise (block record →
+  /// resident block) instead of materializing as Row values — the disk-side
+  /// rowifications the resident representation avoided. Like the other
+  /// spill counters it is 0 when nothing spills.
+  uint64_t spill_rowify_avoided = 0;
   /// Fault-injection & recovery telemetry (empty/zero on fault-free runs and
   /// when the injector is disabled). Every non-recovery field above is
   /// bit-identical between a fault-free run and a run whose injected faults
@@ -176,6 +181,7 @@ class JobStats {
     spill_bytes_read_ += s.spill_bytes_read;
     spill_runs_ += s.spill_runs;
     spill_merge_passes_ += s.spill_merge_passes;
+    spill_rowify_avoided_ += s.spill_rowify_avoided;
     stages_.push_back(std::move(s));
   }
 
@@ -231,6 +237,9 @@ class JobStats {
   uint64_t spill_runs() const { return spill_runs_; }
   /// Stream-merge passes over spill runs.
   uint64_t spill_merge_passes() const { return spill_merge_passes_; }
+  /// Rows restored from spill block records straight into resident blocks
+  /// (disk-side rowifications avoided by block residence).
+  uint64_t spill_rowify_avoided() const { return spill_rowify_avoided_; }
 
   /// Job-wide aggregation of the per-stage skew quantities.
   StragglerSummary straggler() const;
@@ -259,6 +268,7 @@ class JobStats {
     spill_bytes_read_ = 0;
     spill_runs_ = 0;
     spill_merge_passes_ = 0;
+    spill_rowify_avoided_ = 0;
   }
 
   std::string ToString() const;
@@ -287,6 +297,7 @@ class JobStats {
   uint64_t spill_bytes_read_ = 0;
   uint64_t spill_runs_ = 0;
   uint64_t spill_merge_passes_ = 0;
+  uint64_t spill_rowify_avoided_ = 0;
 };
 
 }  // namespace runtime

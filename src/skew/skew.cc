@@ -39,7 +39,7 @@ bool HeavyKeySet::IsHeavy(const Row& row, const std::vector<int>& cols) const {
 SkewTriple SkewTriple::AllLight(Dataset ds) {
   SkewTriple t;
   t.heavy.schema = ds.schema;
-  t.heavy.partitions.resize(ds.partitions.size());
+  t.heavy.store.InitRows(ds.NumPartitions());
   t.light = std::move(ds);
   t.heavy_keys = std::nullopt;
   return t;
@@ -96,11 +96,13 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
   stage.op = "heavy_keys";
   key_codec::KeyStats ks;
   key_codec::KeyEncoder enc;  // encodes once per sampled row
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
-    const auto& part = in.partitions[p];
+  for (size_t p = 0; p < in.NumPartitions(); ++p) {
+    const size_t part_rows = in.PartitionRowCount(p);
     // Per-partition sample frequencies. The count maintenance is identical
     // in every mode (key identity coincides), so the heavy set — and the
-    // build/probe/chain telemetry — are codec- and flat-invariant.
+    // build/probe/chain telemetry — are codec- and flat-invariant. Sampled
+    // rows read transiently from the store in either residence (unsampled
+    // positions never materialize on block-resident input).
     auto sample_hit = [&](size_t i) {
       return Mix64((static_cast<uint64_t>(p) << 32) ^ i ^ cfg.seed) % stride ==
              0;
@@ -115,11 +117,11 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
       WithCountIndex(out.use_flat, [&](auto tag) {
         typename decltype(tag)::type idx;
         std::vector<size_t> cnt;  // dense index -> sample frequency
-        for (size_t i = 0; i < part.size(); ++i) {
+        for (size_t i = 0; i < part_rows; ++i) {
           if (!sample_hit(i)) continue;
           ++sampled;
           stage.rows_in++;
-          auto kv = enc.Encode(part[i], key_cols);
+          auto kv = enc.Encode(in.RowAt(p, i), key_cols);
           if (!kv.ok()) continue;  // unencodable key: never a heavy candidate
           auto [gi, inserted] = idx.FindOrInsert(kv.value());
           if (inserted) {
@@ -148,12 +150,12 @@ HeavyKeySet DetectHeavyKeys(Cluster* cluster, const Dataset& in,
     std::unordered_map<KeyView, size_t, runtime::KeyViewHash,
                        runtime::KeyViewEq>
         counts;
-    for (size_t i = 0; i < part.size(); ++i) {
+    for (size_t i = 0; i < part_rows; ++i) {
       if (!sample_hit(i)) continue;
       ++sampled;
       stage.rows_in++;
       auto [it, inserted] =
-          counts.try_emplace(runtime::ExtractKey(part[i], key_cols), 0);
+          counts.try_emplace(runtime::ExtractKey(in.RowAt(p, i), key_cols), 0);
       if (inserted) {
         ks.build_rows++;
       } else {
@@ -196,19 +198,21 @@ StatusOr<SkewTriple> SplitByHeavyKeys(Cluster* cluster, const Dataset& in,
   SkewTriple out;
   out.light.schema = in.schema;
   out.heavy.schema = in.schema;
-  out.light.partitions.resize(in.partitions.size());
-  out.heavy.partitions.resize(in.partitions.size());
+  out.light.store.InitRows(in.NumPartitions());
+  out.heavy.store.InitRows(in.NumPartitions());
   out.light.partitioning = in.partitioning;
   out.heavy.partitioning = Partitioning::None();
   StageStats stage;
   stage.op = name + ".split";
-  for (size_t p = 0; p < in.partitions.size(); ++p) {
-    for (const auto& row : in.partitions[p]) {
+  for (size_t p = 0; p < in.NumPartitions(); ++p) {
+    const size_t part_rows = in.PartitionRowCount(p);
+    for (size_t i = 0; i < part_rows; ++i) {
+      Row row = in.RowAt(p, i);  // transient read in either residence
       ++stage.rows_in;
       if (!hk.empty() && hk.IsHeavy(row, key_cols)) {
-        out.heavy.partitions[p].push_back(row);
+        out.heavy.store.rows(p).push_back(std::move(row));
       } else {
-        out.light.partitions[p].push_back(row);
+        out.light.store.rows(p).push_back(std::move(row));
       }
     }
   }

@@ -308,9 +308,9 @@ TEST(PartitioningTest, IsHashOnHandlesPermutationsAndDuplicates) {
 Dataset MakeDataset(Rng* rng, size_t nparts, size_t rows_per) {
   Dataset d;
   d.schema = MixedSchema();
-  d.partitions.resize(nparts);
+  d.store.InitRows(nparts);
   for (size_t p = 0; p < nparts; ++p) {
-    d.partitions[p] = RandomRows(rng, rows_per, d.schema.size());
+    d.store.rows(p) = RandomRows(rng, rows_per, d.schema.size());
   }
   return d;
 }
@@ -326,8 +326,8 @@ TEST(DatasetTest, CollectIsThreadCountInvariant) {
   ExpectRowsEqual(serial, parallel8);
   // Partition order: partition p's rows precede partition p+1's.
   size_t at = 0;
-  for (const auto& part : d.partitions) {
-    for (const Row& r : part) {
+  for (size_t p = 0; p < d.NumPartitions(); ++p) {
+    for (const Row& r : d.PartitionRows(p)) {
       ASSERT_EQ(serial[at].fields.size(), r.fields.size());
       for (size_t f = 0; f < r.fields.size(); ++f) {
         EXPECT_EQ(serial[at].fields[f], r.fields[f]);
@@ -337,18 +337,89 @@ TEST(DatasetTest, CollectIsThreadCountInvariant) {
   }
 }
 
+TEST(PartitionStoreTest, RowsBlocksRoundTrip) {
+  // The storage abstraction under Dataset: the same row sequence held in
+  // either residence serves identical reads through every accessor —
+  // RowCount, RowAt, MaterializeRows, AppendRowsTo, PartitionRowBytes —
+  // including empty partitions and rows that force the variant and ragged
+  // block fallbacks (RandomRows mixes types and NULLs deliberately).
+  Rng rng(11);
+  Schema schema = MixedSchema();
+  const size_t nparts = 5;
+  runtime::PartitionStore rows_store;
+  rows_store.InitRows(nparts);
+  runtime::PartitionStore block_store;
+  block_store.InitBlocks(nparts, schema);
+  for (size_t p = 0; p < nparts; ++p) {
+    // Partition 2 stays empty on purpose.
+    std::vector<Row> rows =
+        p == 2 ? std::vector<Row>{} : RandomRows(&rng, 60 + 10 * p, schema.size());
+    for (const Row& r : rows) block_store.block(p).AppendRow(r);
+    rows_store.rows(p) = std::move(rows);
+  }
+  EXPECT_FALSE(rows_store.block_resident());
+  EXPECT_TRUE(block_store.block_resident());
+  ASSERT_EQ(rows_store.NumPartitions(), block_store.NumPartitions());
+  EXPECT_EQ(rows_store.NumRows(), block_store.NumRows());
+  for (size_t p = 0; p < nparts; ++p) {
+    SCOPED_TRACE("partition " + std::to_string(p));
+    ASSERT_EQ(rows_store.RowCount(p), block_store.RowCount(p));
+    EXPECT_EQ(rows_store.PartitionRowBytes(p), block_store.PartitionRowBytes(p));
+    ExpectRowsEqual(rows_store.MaterializeRows(p),
+                    block_store.MaterializeRows(p));
+    std::vector<Row> from_rows;
+    rows_store.AppendRowsTo(p, &from_rows);
+    std::vector<Row> from_blocks;
+    block_store.AppendRowsTo(p, &from_blocks);
+    ExpectRowsEqual(from_rows, from_blocks);
+    for (size_t i = 0; i < rows_store.RowCount(p); ++i) {
+      ExpectRowsEqual({rows_store.RowAt(p, i)}, {block_store.RowAt(p, i)});
+    }
+    // Clear preserves residence and empties the partition.
+    block_store.Clear(p);
+    EXPECT_TRUE(block_store.block_resident());
+    EXPECT_EQ(block_store.RowCount(p), 0u);
+  }
+}
+
+TEST(PartitionStoreTest, ByteAccountingParityBlockVsRow) {
+  // Satellite invariant: Dataset::PartitionBytes / DeepSizeBytes report the
+  // same numbers whichever residence holds the rows (RowBytesAt mirrors
+  // RowDeepSize cell by cell), at any thread count. Randomized over the
+  // full Field-kind mix, variant/ragged demotions included.
+  Rng rng(12);
+  Schema schema = MixedSchema();
+  const size_t nparts = 6;
+  Dataset by_rows;
+  by_rows.schema = schema;
+  by_rows.store.InitRows(nparts);
+  Dataset by_blocks;
+  by_blocks.schema = schema;
+  by_blocks.store.InitBlocks(nparts, schema);
+  for (size_t p = 0; p < nparts; ++p) {
+    std::vector<Row> rows = RandomRows(&rng, 40 + 17 * p, schema.size());
+    for (const Row& r : rows) by_blocks.store.block(p).AppendRow(r);
+    by_rows.store.rows(p) = std::move(rows);
+  }
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(by_rows.PartitionBytes(threads), by_blocks.PartitionBytes(threads));
+    EXPECT_EQ(by_rows.DeepSizeBytes(threads), by_blocks.DeepSizeBytes(threads));
+  }
+}
+
 TEST(DatasetTest, ToBlocksFromBlocksRoundTrips) {
   Rng rng(6);
   Dataset d = MakeDataset(&rng, 5, 80);
   for (int threads : {1, 4}) {
     auto blocks = d.ToBlocks(threads);
-    ASSERT_EQ(blocks.size(), d.partitions.size());
+    ASSERT_EQ(blocks.size(), d.NumPartitions());
     Dataset back = Dataset::FromBlocks(d.schema, blocks,
                                        Partitioning::None(), threads);
-    ASSERT_EQ(back.partitions.size(), d.partitions.size());
-    for (size_t p = 0; p < d.partitions.size(); ++p) {
+    ASSERT_EQ(back.NumPartitions(), d.NumPartitions());
+    for (size_t p = 0; p < d.NumPartitions(); ++p) {
       SCOPED_TRACE("partition " + std::to_string(p));
-      ExpectRowsEqual(back.partitions[p], d.partitions[p]);
+      ExpectRowsEqual(back.PartitionRows(p), d.PartitionRows(p));
     }
   }
 }

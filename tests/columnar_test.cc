@@ -43,13 +43,13 @@ runtime::ClusterConfig Config(int num_threads) {
 }
 
 void ExpectSameRows(const Dataset& a, const Dataset& b) {
-  ASSERT_EQ(a.partitions.size(), b.partitions.size());
-  for (size_t p = 0; p < a.partitions.size(); ++p) {
-    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+  ASSERT_EQ(a.NumPartitions(), b.NumPartitions());
+  for (size_t p = 0; p < a.NumPartitions(); ++p) {
+    ASSERT_EQ(a.PartitionRowCount(p), b.PartitionRowCount(p))
         << "partition " << p;
-    for (size_t i = 0; i < a.partitions[p].size(); ++i) {
-      const Row& ra = a.partitions[p][i];
-      const Row& rb = b.partitions[p][i];
+    for (size_t i = 0; i < a.PartitionRowCount(p); ++i) {
+      const Row ra = a.RowAt(p, i);
+      const Row rb = b.RowAt(p, i);
       ASSERT_EQ(ra.fields.size(), rb.fields.size())
           << "partition " << p << " row " << i;
       for (size_t f = 0; f < ra.fields.size(); ++f) {
@@ -314,8 +314,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ColumnarRuntimeTest, ComposesWithLegacyKeyRoute) {
   // With the key codec off (legacy KeyView containers) the keyed operators
-  // never pack blocks, but shuffles and narrow stages still do; results and
-  // every pre-existing stat stay identical across all four flag settings.
+  // hand off row-resident partitions, but shuffles and narrow stages still
+  // run block-resident; results and every pre-existing stat stay identical
+  // across all four flag settings.
   auto q = tpch::FlatToNested(2, tpch::Width::kNarrow);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   tpch::TpchConfig cfg;
@@ -336,10 +337,49 @@ TEST(ColumnarRuntimeTest, ComposesWithLegacyKeyRoute) {
   ExpectSameStats(legacy_col.stats, legacy_row.stats);
   EXPECT_GT(legacy_col.stats.columnar_bytes(), 0u);
   EXPECT_EQ(legacy_row.stats.columnar_bytes(), 0u);
-  // The encoded route packs keyed-operator blocks on top of the shared
-  // shuffle/stage blocks, so it accounts at least as many columnar bytes.
+  // The encoded route keeps keyed-operator outputs block-resident on top of
+  // the shared shuffle/stage blocks, so it accounts at least as many
+  // columnar bytes.
   EXPECT_GE(codec_col.stats.columnar_bytes(),
             legacy_col.stats.columnar_bytes());
+}
+
+TEST(ColumnarRuntimeTest, BlockResidentRouteConvertsNothing) {
+  // The tentpole property: with partitions block-resident end to end
+  // (columnar on, keys encodable), no operator materializes a block-backed
+  // input into retained rows — column_to_row_conversions is exactly zero
+  // across the whole Fig-7 narrow suite. The counter itself still works: the
+  // legacy keyed route (codec off) reads block-resident shuffle outputs into
+  // its row-keyed containers and must report those materializations.
+  uint64_t legacy_total = 0;
+  for (int kind = 0; kind <= 2; ++kind) {
+    for (int depth : {0, 2}) {
+      SCOPED_TRACE("kind " + std::to_string(kind) + " depth " +
+                   std::to_string(depth));
+      auto q = kind == 0   ? tpch::FlatToNested(depth, tpch::Width::kNarrow)
+               : kind == 1 ? tpch::NestedToNested(depth, tpch::Width::kNarrow)
+                           : tpch::NestedToFlat(depth, tpch::Width::kNarrow);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      tpch::TpchConfig cfg;
+      cfg.scale = 0.0005;
+      auto values = TpchValues(tpch::Generate(cfg));
+      if (kind != 0) {
+        auto prep = tpch::FlatToNested(depth, tpch::Width::kNarrow).ValueOrDie();
+        nrc::Interpreter interp;
+        auto nested = interp.EvalProgram(prep, values);
+        ASSERT_TRUE(nested.ok());
+        values = {{"COP", nested->at("Q")}, {"Part", values.at("Part")}};
+      }
+      StandardModeRun on = RunStandardMode(*q, values, true, 1);
+      EXPECT_GT(on.stats.columnar_bytes(), 0u);
+      EXPECT_EQ(on.stats.column_to_row_conversions(), 0u);
+      StandardModeRun legacy = RunStandardMode(*q, values, true, 1, false);
+      legacy_total += legacy.stats.column_to_row_conversions();
+    }
+  }
+  // A depth-0 flat query may run no keyed operator at all, but across the
+  // suite the legacy containers materialize plenty of block-backed rows.
+  EXPECT_GT(legacy_total, 0u);
 }
 
 TEST(ColumnarRuntimeTest, CountersVisibleInJsonAndExplain) {

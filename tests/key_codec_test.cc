@@ -211,13 +211,13 @@ runtime::ClusterConfig Config(int num_threads) {
 }
 
 void ExpectSameRows(const Dataset& a, const Dataset& b) {
-  ASSERT_EQ(a.partitions.size(), b.partitions.size());
-  for (size_t p = 0; p < a.partitions.size(); ++p) {
-    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+  ASSERT_EQ(a.NumPartitions(), b.NumPartitions());
+  for (size_t p = 0; p < a.NumPartitions(); ++p) {
+    ASSERT_EQ(a.PartitionRowCount(p), b.PartitionRowCount(p))
         << "partition " << p;
-    for (size_t i = 0; i < a.partitions[p].size(); ++i) {
-      const Row& ra = a.partitions[p][i];
-      const Row& rb = b.partitions[p][i];
+    for (size_t i = 0; i < a.PartitionRowCount(p); ++i) {
+      const Row ra = a.RowAt(p, i);
+      const Row rb = b.RowAt(p, i);
       ASSERT_EQ(ra.fields.size(), rb.fields.size())
           << "partition " << p << " row " << i;
       for (size_t f = 0; f < ra.fields.size(); ++f) {

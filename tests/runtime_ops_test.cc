@@ -61,7 +61,7 @@ TEST(OpsTest, SourceDistributesRoundRobin) {
                    "in");
   ASSERT_TRUE(ds.ok());
   EXPECT_EQ(ds->NumRows(), 5u);
-  EXPECT_EQ(ds->partitions.size(), 4u);
+  EXPECT_EQ(ds->NumPartitions(), 4u);
   EXPECT_EQ(ds->partitioning.kind, Partitioning::Kind::kNone);
 }
 
@@ -73,13 +73,14 @@ TEST(OpsTest, RepartitionColocatesKeys) {
   auto parted = Repartition(&cluster, ds, {0}, "repart");
   ASSERT_TRUE(parted.ok());
   // All rows with the same key must land in one partition.
-  for (const auto& p : parted->partitions) {
+  for (size_t pi = 0; pi < parted->NumPartitions(); ++pi) {
+    const std::vector<Row> p = parted->PartitionRows(pi);
     std::set<int64_t> keys;
     for (const auto& r : p) keys.insert(r.fields[0].AsInt());
     for (int64_t k : keys) {
       size_t count = 0;
-      for (const auto& q : parted->partitions) {
-        for (const auto& r : q) {
+      for (size_t qi = 0; qi < parted->NumPartitions(); ++qi) {
+        for (const auto& r : parted->PartitionRows(qi)) {
           if (r.fields[0].AsInt() == k) ++count;
         }
       }
@@ -123,8 +124,8 @@ TEST(OpsTest, RepartitionOnPermutedKeysShufflesNothing) {
   EXPECT_EQ(cluster.stats().total_shuffle_bytes(), before);
   // Placement under the permuted guarantee must match hashing on the
   // permuted key list exactly (reuse must not mis-place any row).
-  for (size_t p = 0; p < p2.partitions.size(); ++p) {
-    for (const auto& r : p2.partitions[p]) {
+  for (size_t p = 0; p < p2.NumPartitions(); ++p) {
+    for (const auto& r : p2.PartitionRows(p)) {
       EXPECT_EQ(static_cast<size_t>(cluster.PartitionOf(RowHashOn(r, {1, 0}))),
                 p);
     }
@@ -388,11 +389,10 @@ TEST(OpsTest, OuterUnnestKeepsEmptyAndAddsIds) {
   // The two rows of k=1 share a uid; the k=2 row has NULL x.
   std::map<int64_t, std::vector<const Row*>> by_uid;
   int nulls = 0;
-  for (const auto& p : flat.partitions) {
-    for (const auto& r : p) {
-      by_uid[r.fields[0].AsInt()].push_back(&r);
-      if (r.fields[2].is_null()) ++nulls;
-    }
+  const std::vector<Row> flat_rows = flat.Collect();
+  for (const auto& r : flat_rows) {
+    by_uid[r.fields[0].AsInt()].push_back(&r);
+    if (r.fields[2].is_null()) ++nulls;
   }
   EXPECT_EQ(by_uid.size(), 2u);
   EXPECT_EQ(nulls, 1);

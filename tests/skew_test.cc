@@ -117,15 +117,11 @@ TEST(SkewTest, SplitPartitionsRowsExactly) {
   auto triple = SplitByHeavyKeys(&cluster, ds, {0}, std::nullopt, "t");
   ASSERT_TRUE(triple.ok());
   EXPECT_EQ(triple->light.NumRows() + triple->heavy.NumRows(), 540u);
-  for (const auto& p : triple->heavy.partitions) {
-    for (const auto& r : p) {
-      EXPECT_EQ(r.fields[0].AsInt(), 7);
-    }
+  for (const auto& r : triple->heavy.Collect()) {
+    EXPECT_EQ(r.fields[0].AsInt(), 7);
   }
-  for (const auto& p : triple->light.partitions) {
-    for (const auto& r : p) {
-      EXPECT_NE(r.fields[0].AsInt(), 7);
-    }
+  for (const auto& r : triple->light.Collect()) {
+    EXPECT_NE(r.fields[0].AsInt(), 7);
   }
 }
 

@@ -50,13 +50,13 @@ runtime::ClusterConfig Config(int num_threads, uint64_t cap) {
 }
 
 void ExpectSameRows(const Dataset& a, const Dataset& b) {
-  ASSERT_EQ(a.partitions.size(), b.partitions.size());
-  for (size_t p = 0; p < a.partitions.size(); ++p) {
-    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+  ASSERT_EQ(a.NumPartitions(), b.NumPartitions());
+  for (size_t p = 0; p < a.NumPartitions(); ++p) {
+    ASSERT_EQ(a.PartitionRowCount(p), b.PartitionRowCount(p))
         << "partition " << p;
-    for (size_t i = 0; i < a.partitions[p].size(); ++i) {
-      const Row& ra = a.partitions[p][i];
-      const Row& rb = b.partitions[p][i];
+    for (size_t i = 0; i < a.PartitionRowCount(p); ++i) {
+      const Row ra = a.RowAt(p, i);
+      const Row rb = b.RowAt(p, i);
       ASSERT_EQ(ra.fields.size(), rb.fields.size())
           << "partition " << p << " row " << i;
       for (size_t f = 0; f < ra.fields.size(); ++f) {
@@ -135,10 +135,12 @@ struct ModeRun {
 /// aborting on failure (capped spill-off runs are SUPPOSED to fail).
 ModeRun RunStandardMode(const nrc::Program& q,
                         const std::map<std::string, Value>& values,
-                        int threads, uint64_t cap, bool spill) {
+                        int threads, uint64_t cap, bool spill,
+                        bool columnar = true) {
   runtime::Cluster cluster(Config(threads, cap));
   exec::PipelineOptions opts;
   opts.exec.enable_spill = spill;
+  opts.exec.enable_columnar = columnar;
   exec::Executor executor(&cluster, opts.exec);
   ModeRun r;
   for (const auto& in : q.inputs) {
@@ -383,6 +385,39 @@ TEST(SpillRuntimeTest, CountersVisibleInJsonAndExplain) {
   std::string easy_json = obs::JobStatsToJson(easy.stats);
   EXPECT_NE(easy_json.find("\"spill_bytes_written\""), std::string::npos)
       << easy_json;
+}
+
+TEST(SpillRuntimeTest, BlockResidentSpillAvoidsRowification) {
+  // Block-resident partitions spill as columnar serde records: every row
+  // that round-trips through disk without being rowified is counted in
+  // spill_rowify_avoided. The row route (columnar off) writes row batches
+  // and reports zero. The counter is visible in the JSON export and the
+  // EXPLAIN spill clause.
+  auto q = tpch::FlatToNested(2, tpch::Width::kNarrow);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.0005;
+  auto values = TpchValues(tpch::Generate(cfg));
+
+  ModeRun col = RunStandardMode(*q, values, 1, kTinyCap, true, true);
+  ASSERT_TRUE(col.ok) << col.status.ToString();
+  EXPECT_GT(col.stats.spill_runs(), 0u);
+  EXPECT_GT(col.stats.spill_rowify_avoided(), 0u);
+  std::string json = obs::JobStatsToJson(col.stats);
+  EXPECT_NE(json.find("\"spill_rowify_avoided\""), std::string::npos) << json;
+  EXPECT_NE(col.explain.find("rowify_avoided="), std::string::npos)
+      << col.explain;
+
+  ModeRun row = RunStandardMode(*q, values, 1, kTinyCap, true, false);
+  ASSERT_TRUE(row.ok) << row.status.ToString();
+  EXPECT_GT(row.stats.spill_runs(), 0u);
+  EXPECT_EQ(row.stats.spill_rowify_avoided(), 0u);
+
+  // Thread-count invariance, like every other spill counter.
+  ModeRun col4 = RunStandardMode(*q, values, 4, kTinyCap, true, true);
+  ASSERT_TRUE(col4.ok) << col4.status.ToString();
+  EXPECT_EQ(col.stats.spill_rowify_avoided(),
+            col4.stats.spill_rowify_avoided());
 }
 
 TEST(SpillRuntimeTest, DisabledSpillKeepsHistoricalFailureShape) {
